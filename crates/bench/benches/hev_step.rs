@@ -1,0 +1,49 @@
+//! Throughput of the vehicle model's backward-looking step — the
+//! innermost primitive of every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hev_model::{ControlInput, HevParams, ParallelHev};
+
+fn bench_hev_step(c: &mut Criterion) {
+    let hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let mut group = c.benchmark_group("hev_step");
+
+    let cruise = hev.demand(20.0, 0.0, 0.0);
+    let control = ControlInput {
+        battery_current_a: 5.0,
+        gear: 3,
+        p_aux_w: 600.0,
+    };
+    group.bench_function("peek_cruise_engine_on", |b| {
+        b.iter(|| hev.peek(black_box(&cruise), black_box(&control), 1.0))
+    });
+
+    let launch = hev.demand(3.0, 0.4, 0.0);
+    let ev = ControlInput {
+        battery_current_a: 40.0,
+        gear: 0,
+        p_aux_w: 600.0,
+    };
+    group.bench_function("peek_ev_launch", |b| {
+        b.iter(|| hev.peek(black_box(&launch), black_box(&ev), 1.0))
+    });
+
+    let braking = hev.demand(15.0, -1.5, 0.0);
+    let regen = ControlInput {
+        battery_current_a: -25.0,
+        gear: 2,
+        p_aux_w: 600.0,
+    };
+    group.bench_function("peek_regen_braking", |b| {
+        b.iter(|| hev.peek(black_box(&braking), black_box(&regen), 1.0))
+    });
+
+    group.bench_function("demand_computation", |b| {
+        b.iter(|| hev.demand(black_box(17.3), black_box(0.4), black_box(0.01)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hev_step);
+criterion_main!(benches);

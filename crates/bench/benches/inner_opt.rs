@@ -1,0 +1,37 @@
+//! Latency of the per-step inner optimization (reduced action space):
+//! this bounds the controller's real-time budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hev_control::{InnerOptimizer, RewardConfig};
+use hev_model::{HevParams, ParallelHev};
+
+fn bench_inner_opt(c: &mut Criterion) {
+    let hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let reward = RewardConfig::default();
+    let opt = InnerOptimizer::default();
+    let fixed = InnerOptimizer::with_fixed_aux(600.0);
+    let mut group = c.benchmark_group("inner_opt");
+
+    let cruise = hev.demand(20.0, 0.0, 0.0);
+    group.bench_function("resolve_cruise", |b| {
+        b.iter(|| opt.resolve(&hev, black_box(&cruise), 5.0, 1.0, &reward))
+    });
+
+    let accel = hev.demand(12.0, 1.0, 0.0);
+    group.bench_function("resolve_accel", |b| {
+        b.iter(|| opt.resolve(&hev, black_box(&accel), 40.0, 1.0, &reward))
+    });
+
+    group.bench_function("resolve_fixed_aux", |b| {
+        b.iter(|| fixed.resolve(&hev, black_box(&cruise), 5.0, 1.0, &reward))
+    });
+
+    group.bench_function("feasibility_probe", |b| {
+        b.iter(|| opt.feasible(&hev, black_box(&cruise), 5.0, 1.0))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_inner_opt);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end experiment benchmarks: full-cycle simulation under each
+//! controller, and one training episode of the proposed agent. These are
+//! the units the `repro` binary composes into the paper's tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drive_cycle::StandardCycle;
+use hev_control::{
+    simulate, EcmsController, JointController, JointControllerConfig, RewardConfig,
+    RuleBasedController,
+};
+use hev_model::{HevParams, ParallelHev};
+
+fn fresh_hev() -> ParallelHev {
+    ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap()
+}
+
+fn bench_paper_experiments(c: &mut Criterion) {
+    let cycle = StandardCycle::Oscar.cycle();
+    let reward = RewardConfig::default();
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+
+    group.bench_function("rule_based_oscar_episode", |b| {
+        b.iter_batched(
+            fresh_hev,
+            |mut hev| {
+                let mut ctl = RuleBasedController::default();
+                simulate(&mut hev, &cycle, &mut ctl, &reward)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ecms_oscar_episode", |b| {
+        b.iter_batched(
+            fresh_hev,
+            |mut hev| {
+                let mut ctl = EcmsController::default();
+                simulate(&mut hev, &cycle, &mut ctl, &reward)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("joint_rl_oscar_training_episode", |b| {
+        b.iter_batched(
+            || {
+                (
+                    fresh_hev(),
+                    JointController::new(JointControllerConfig::proposed()),
+                )
+            },
+            |(mut hev, mut agent)| agent.train(&mut hev, &cycle, 1),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("joint_rl_oscar_greedy_episode", |b| {
+        let mut agent = JointController::new(JointControllerConfig::proposed());
+        let mut hev = fresh_hev();
+        agent.train(&mut hev, &cycle, 5);
+        b.iter(|| agent.evaluate(&mut hev, &cycle))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_experiments);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Throughput of the driving-profile predictors (they run inside the
+//! controller's per-step loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use drive_cycle::StandardCycle;
+use hev_predict::{Ewma, MarkovChain, MlpPredictor, MovingAverage, Predictor};
+
+fn demand_signal() -> Vec<f64> {
+    // A realistic demand-like signal derived from UDDS speeds.
+    StandardCycle::Udds
+        .cycle()
+        .speeds_mps()
+        .iter()
+        .map(|v| v * 800.0)
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let signal = demand_signal();
+    let mut group = c.benchmark_group("predictors");
+
+    group.bench_function("ewma_observe_predict", |b| {
+        let mut p = Ewma::new(0.3);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(black_box(signal[i % signal.len()]));
+            i += 1;
+            p.predict()
+        })
+    });
+
+    group.bench_function("moving_average_observe_predict", |b| {
+        let mut p = MovingAverage::new(10);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(black_box(signal[i % signal.len()]));
+            i += 1;
+            p.predict()
+        })
+    });
+
+    group.bench_function("markov_observe_predict", |b| {
+        let mut p = MarkovChain::new(-40_000.0, 60_000.0, 12);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(black_box(signal[i % signal.len()]));
+            i += 1;
+            p.predict()
+        })
+    });
+
+    group.bench_function("mlp_observe_predict", |b| {
+        let mut p = MlpPredictor::new(4, 8, 0.02, 20_000.0, 1);
+        let mut i = 0;
+        b.iter(|| {
+            p.observe(black_box(signal[i % signal.len()]));
+            i += 1;
+            p.predict()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--episodes N] [--seed S] [--csv DIR] <target>...
+//!
+//! targets:
+//!   table1                  HEV key parameters
+//!   fig2                    fuel with vs without prediction (OSCAR, UDDS, MODEM)
+//!   table2                  cumulative reward, proposed vs rule-based
+//!   fig3                    MPG, proposed vs rule-based
+//!   dp-bound                offline DP reference on the paper's cycles
+//!   learning-curve          reduced vs full action-space convergence
+//!   ablation-action-space   reduced vs full action space
+//!   ablation-alpha          prediction learning-rate sweep
+//!   ablation-lambda         TD(lambda) sweep
+//!   ablation-weight         auxiliary weight sweep
+//!   ablation-predictor      EWMA vs MA vs Markov vs MLP
+//!   all                     everything above
+//! ```
+
+use hev_bench::ablations;
+use hev_bench::experiments::{self, ExperimentConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = ExperimentConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--episodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.episodes = n,
+                None => return usage("--episodes needs an integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => return usage("--seed needs an integer"),
+            },
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => return usage("--csv needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return usage("no target given");
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1",
+            "fig2",
+            "table2",
+            "fig3",
+            "dp-bound",
+            "learning-curve",
+            "ablation-action-space",
+            "ablation-alpha",
+            "ablation-lambda",
+            "ablation-weight",
+            "ablation-predictor",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for t in &targets {
+        match t.as_str() {
+            "table1" => table1(),
+            "fig2" => fig2_target(&cfg, csv_dir.as_deref()),
+            "table2" => table2_target(&cfg, csv_dir.as_deref()),
+            "fig3" => fig3_target(&cfg, csv_dir.as_deref()),
+            "dp-bound" => dp_bound(&cfg),
+            "learning-curve" => learning_curve(&cfg),
+            "ablation-action-space" => ablation(
+                "A1: reduced vs full action space",
+                ablations::ablation_action_space(&cfg),
+            ),
+            "ablation-alpha" => ablation(
+                "A2: prediction learning-rate alpha",
+                ablations::ablation_alpha(&cfg),
+            ),
+            "ablation-lambda" => ablation(
+                "A3: TD(lambda) trace decay",
+                ablations::ablation_lambda(&cfg),
+            ),
+            "ablation-weight" => {
+                ablation("A4: auxiliary weight w", ablations::ablation_weight(&cfg))
+            }
+            "ablation-predictor" => ablation(
+                "A5: predictor comparison",
+                ablations::ablation_predictor(&cfg),
+            ),
+            other => return usage(&format!("unknown target {other}")),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--episodes N] [--seed S] [--csv DIR] <target>...\n\
+         targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
+         ablation-alpha ablation-lambda ablation-weight ablation-predictor all"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+fn table1() {
+    println!("\n== Table 1: HEV key parameters ==");
+    rule(58);
+    for row in experiments::table1() {
+        println!("{:<34} {}", row.name, row.value);
+    }
+    rule(58);
+}
+
+/// Writes rows to `<dir>/<name>.csv` when a CSV directory was requested.
+fn write_csv(dir: Option<&std::path::Path>, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = dir else { return };
+    let mut text = String::from(header);
+    text.push('\n');
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("error: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn fig2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
+    let rows = experiments::fig2(cfg);
+    write_csv(
+        csv,
+        "fig2",
+        "cycle,fuel_with_g,fuel_without_g,normalized",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{}",
+                    r.cycle, r.fuel_with_g, r.fuel_without_g, r.normalized
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    fig2_print(cfg, &rows);
+}
+
+fn fig2_print(cfg: &ExperimentConfig, rows: &[experiments::Fig2Row]) {
+    println!(
+        "\n== Figure 2: normalized fuel consumption, RL with vs without prediction \
+         ({} episodes) ==",
+        cfg.episodes
+    );
+    rule(72);
+    println!(
+        "{:<8} {:>14} {:>16} {:>12} {:>10}",
+        "cycle", "with pred (g)", "without pred (g)", "normalized", "saving"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>14.1} {:>16.1} {:>12.3} {:>9.1}%",
+            r.cycle,
+            r.fuel_with_g,
+            r.fuel_without_g,
+            r.normalized,
+            (1.0 - r.normalized) * 100.0
+        );
+    }
+    rule(72);
+    println!("(paper: prediction-only fuel saving up to 12%)");
+}
+
+fn table2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
+    let rows = experiments::table2(cfg);
+    write_csv(
+        csv,
+        "table2",
+        "cycle,proposed,rule_based,proposed_corrected,rule_corrected,dsoc_proposed,dsoc_rule",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    r.cycle,
+                    r.proposed,
+                    r.rule_based,
+                    r.proposed_corrected,
+                    r.rule_corrected,
+                    r.proposed_delta_soc,
+                    r.rule_delta_soc
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    table2_print(cfg, &rows);
+}
+
+fn table2_print(cfg: &ExperimentConfig, rows: &[experiments::Table2Row]) {
+    println!(
+        "\n== Table 2: cumulative reward, proposed vs rule-based ({} episodes) ==",
+        cfg.episodes
+    );
+    rule(100);
+    println!(
+        "{:<8} {:>10} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "cycle", "proposed", "rule", "prop (corr)", "rule (corr)", "dSoC prop", "dSoC rule"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>14.2} {:>14.2} {:>12.4} {:>12.4}",
+            r.cycle,
+            r.proposed,
+            r.rule_based,
+            r.proposed_corrected,
+            r.rule_corrected,
+            r.proposed_delta_soc,
+            r.rule_delta_soc
+        );
+    }
+    rule(100);
+    println!("(corr = reward with the terminal SoC difference folded in as fuel-equivalent grams)");
+    println!(
+        "(paper: OSCAR -275.76/-337.50, UDDS -754.85/-849.25, SC03 -284.14/-319.66, \
+         HWFET -741.12/-861.68)"
+    );
+}
+
+fn fig3_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
+    let rows = experiments::fig3(cfg);
+    write_csv(
+        csv,
+        "fig3",
+        "cycle,proposed_mpg,rule_mpg,improvement_pct",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{}",
+                    r.cycle, r.proposed_mpg, r.rule_mpg, r.improvement_pct
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    fig3_print(cfg, &rows);
+}
+
+fn fig3_print(cfg: &ExperimentConfig, rows: &[experiments::Fig3Row]) {
+    println!(
+        "\n== Figure 3: MPG, proposed vs rule-based ({} episodes, SoC-corrected) ==",
+        cfg.episodes
+    );
+    rule(60);
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "cycle", "proposed", "rule-based", "improvement"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>13.1}%",
+            r.cycle, r.proposed_mpg, r.rule_mpg, r.improvement_pct
+        );
+    }
+    rule(60);
+    println!("(paper: up to 29% MPG improvement)");
+}
+
+fn dp_bound(cfg: &ExperimentConfig) {
+    println!("\n== Offline DP reference bound (full cycle knowledge) ==");
+    rule(64);
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "cycle", "DP reward", "DP mpg", "rule-based mpg"
+    );
+    for sc in drive_cycle::StandardCycle::paper_set() {
+        let cycle = sc.cycle();
+        let dp = experiments::run_dp(&cycle, cfg);
+        let rb = experiments::run_rule_based(&cycle, cfg);
+        println!(
+            "{:<8} {:>12.2} {:>12.1} {:>14.1}",
+            sc.name(),
+            dp.total_reward,
+            experiments::corrected_mpg(&dp),
+            experiments::corrected_mpg(&rb),
+        );
+    }
+    rule(64);
+}
+
+fn learning_curve(cfg: &ExperimentConfig) {
+    println!(
+        "\n== Learning curves on UDDS: reduced vs full action space ({} episodes) ==",
+        cfg.episodes
+    );
+    rule(56);
+    println!(
+        "{:<10} {:>18} {:>18}",
+        "episode", "reduced fuel (g)", "full fuel (g)"
+    );
+    for p in experiments::learning_curve(cfg, cfg.episodes / 20) {
+        println!(
+            "{:<10} {:>18.1} {:>18.1}",
+            p.episode, p.reduced_fuel_g, p.full_fuel_g
+        );
+    }
+    rule(56);
+    println!("(§4.3.2: the reduced action space should reach low fuel in fewer episodes)");
+}
+
+fn ablation(title: &str, rows: Vec<hev_bench::AblationRow>) {
+    println!("\n== Ablation {title} ==");
+    rule(64);
+    println!(
+        "{:<26} {:>10} {:>10} {:>13}",
+        "setting", "reward", "mpg", "mean utility"
+    );
+    for r in rows {
+        println!(
+            "{:<26} {:>10.2} {:>10.1} {:>13.3}",
+            r.setting, r.reward, r.mpg, r.mean_utility
+        );
+    }
+    rule(64);
+}

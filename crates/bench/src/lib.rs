@@ -1,0 +1,15 @@
+//! Benchmark harness for the DAC'15 joint HEV control reproduction.
+//!
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation (§5); [`ablations`] sweeps the design choices DESIGN.md
+//! calls out. The `repro` binary pretty-prints them; the Criterion
+//! benches in `benches/` measure the substrate's throughput.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod experiments;
+
+pub use ablations::AblationRow;
+pub use experiments::{ExperimentConfig, Fig2Row, Fig3Row, Table1Row, Table2Row};

@@ -1,0 +1,24 @@
+//! Baseline controllers the paper's evaluation compares against, plus
+//! reference strategies added for context.
+//!
+//! * [`RuleBasedController`] — the rule-based policy of ref \[5\]
+//!   (Banvait et al., ACC'09), used in Table 2 / Figure 3.
+//! * `powertrain_only` — the RL policy of ref \[13\] (Lin et al.,
+//!   ICCAD'14): no prediction, no auxiliary co-optimization; constructed
+//!   via [`JointControllerConfig::powertrain_only`].
+//! * [`EcmsController`] — equivalent consumption minimization (ref
+//!   \[10\]), a real-time optimization baseline.
+//! * [`dp::solve`] — offline dynamic-programming bound (ref \[7\]).
+//!
+//! [`JointControllerConfig::powertrain_only`]:
+//! crate::JointControllerConfig::powertrain_only
+
+pub mod cdcs;
+pub mod dp;
+pub mod ecms;
+pub mod rule_based;
+
+pub use cdcs::{CdCsConfig, CdCsController};
+pub use dp::{solve as solve_dp, DpConfig, DpPolicy, DpSolution};
+pub use ecms::{EcmsConfig, EcmsController};
+pub use rule_based::{RuleBasedConfig, RuleBasedController};

@@ -1,0 +1,161 @@
+//! Export and inspection of a learned policy.
+//!
+//! A tabular Q-function is opaque; [`PolicyTable`] projects the learned
+//! greedy action onto the two physically meaningful axes — vehicle speed
+//! and propulsion power demand — at a fixed battery level, producing the
+//! kind of "power-split map" engineers read (and OEM calibrators ship).
+
+use crate::controller::JointController;
+use crate::state::{StateSample, StateSpace};
+use hev_predict::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// A learned power-split map: for each `(speed, demand)` cell, the
+/// greedy battery current, or `None` where the agent never visited.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTable {
+    /// Speed grid centers, m/s.
+    pub speeds_mps: Vec<f64>,
+    /// Demand grid centers, W.
+    pub demands_w: Vec<f64>,
+    /// Fixed battery level the slice was taken at.
+    pub soc: f64,
+    /// `cells[d][v]`: greedy current (A) at demand row `d`, speed column
+    /// `v`; `None` = never visited.
+    pub cells: Vec<Vec<Option<f64>>>,
+}
+
+impl PolicyTable {
+    /// Extracts the greedy-current map of a trained controller at the
+    /// given battery level (prediction fixed to the demand — the
+    /// "steady" slice).
+    pub fn extract<P: Predictor>(
+        controller: &JointController<P>,
+        soc: f64,
+        speed_points: usize,
+        demand_points: usize,
+    ) -> Self {
+        let space: &StateSpace = controller.state_space();
+        let cfg = space.config();
+        let (v_lo, v_hi) = (cfg.speed.min(), cfg.speed.max());
+        let (d_lo, d_hi) = (cfg.power_demand.min(), cfg.power_demand.max());
+        let speeds: Vec<f64> = (0..speed_points)
+            .map(|i| v_lo + (v_hi - v_lo) * (i as f64 + 0.5) / speed_points as f64)
+            .collect();
+        let demands: Vec<f64> = (0..demand_points)
+            .map(|i| d_lo + (d_hi - d_lo) * (i as f64 + 0.5) / demand_points as f64)
+            .collect();
+        let currents = controller.config().action.currents().to_vec();
+        let cells = demands
+            .iter()
+            .map(|&p| {
+                speeds
+                    .iter()
+                    .map(|&v| {
+                        let s = space.encode(&StateSample {
+                            power_demand_w: p,
+                            speed_mps: v,
+                            soc,
+                            prediction_w: p,
+                        });
+                        controller
+                            .learner()
+                            .greedy_visited(s, None)
+                            .map(|a| currents[a])
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            speeds_mps: speeds,
+            demands_w: demands,
+            soc,
+            cells,
+        }
+    }
+
+    /// Fraction of cells the agent visited.
+    pub fn coverage(&self) -> f64 {
+        let total = self.cells.len() * self.cells.first().map_or(0, Vec::len);
+        if total == 0 {
+            return 0.0;
+        }
+        let visited = self.cells.iter().flatten().filter(|c| c.is_some()).count();
+        visited as f64 / total as f64
+    }
+
+    /// Renders an ASCII heat map (`.` unvisited, `-` charge, `0` near
+    /// zero, `+` assist, `#` strong assist), demand rows from high to
+    /// low.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        for row in self.cells.iter().rev() {
+            for cell in row {
+                out.push(match cell {
+                    None => '.',
+                    Some(i) if *i <= -10.0 => '-',
+                    Some(i) if *i < 10.0 => '0',
+                    Some(i) if *i < 50.0 => '+',
+                    Some(_) => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::JointControllerConfig;
+    use drive_cycle::ProfileBuilder;
+    use hev_model::{HevParams, ParallelHev};
+
+    fn trained() -> JointController {
+        let cycle = ProfileBuilder::new("t")
+            .idle(3.0)
+            .trip(40.0, 10.0, 15.0, 8.0, 4.0)
+            .build()
+            .unwrap();
+        let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+        let mut agent = JointController::new(JointControllerConfig::proposed());
+        agent.train(&mut hev, &cycle, 5);
+        agent
+    }
+
+    #[test]
+    fn untrained_policy_is_empty() {
+        let agent = JointController::new(JointControllerConfig::proposed());
+        let table = PolicyTable::extract(&agent, 0.6, 6, 6);
+        assert_eq!(table.coverage(), 0.0);
+        assert!(table.render_ascii().chars().all(|c| c == '.' || c == '\n'));
+    }
+
+    #[test]
+    fn trained_policy_has_coverage() {
+        let table = PolicyTable::extract(&trained(), 0.6, 8, 8);
+        assert!(table.coverage() > 0.0);
+        assert_eq!(table.cells.len(), 8);
+        assert_eq!(table.cells[0].len(), 8);
+    }
+
+    #[test]
+    fn grid_centers_span_state_space() {
+        let agent = JointController::new(JointControllerConfig::proposed());
+        let table = PolicyTable::extract(&agent, 0.6, 4, 4);
+        assert!(table.speeds_mps[0] > 0.0);
+        assert!(*table.speeds_mps.last().unwrap() < 40.0);
+        assert!(table.demands_w[0] > -40_000.0);
+        assert!(*table.demands_w.last().unwrap() < 60_000.0);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let table = PolicyTable::extract(&trained(), 0.6, 5, 3);
+        let rendered = table.render_ascii();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 5));
+    }
+}

@@ -1,0 +1,210 @@
+//! The RL state space `s = [p_dem, v, q, pre]` (paper Eq. 13–14).
+
+use hev_rl::{ProductSpace, UniformGrid};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the discretized state space.
+///
+/// Each dimension is a uniform level grid; the prediction dimension is
+/// optional — disabling it reproduces the "without prediction" RL
+/// controller the paper compares against in Figure 2 (and the ICCAD'14
+/// baseline's state definition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSpaceConfig {
+    /// Levels of the propulsion power demand `p_dem`, W.
+    pub power_demand: UniformGrid,
+    /// Levels of the vehicle speed `v`, m/s.
+    pub speed: UniformGrid,
+    /// Levels of the battery charge `q` (state of charge fraction).
+    pub charge: UniformGrid,
+    /// Levels of the predicted future power demand `pre`, W; `None`
+    /// removes the prediction dimension.
+    pub prediction: Option<UniformGrid>,
+}
+
+impl StateSpaceConfig {
+    /// The default joint-control state space (with prediction).
+    ///
+    /// The power-demand dimension is the critical one: it directly
+    /// selects the power split, so it gets the finest grid (≈ 4 kW per
+    /// level). Coarser grids alias dissimilar demands into one state and
+    /// measurably cost fuel (see the state-granularity note in
+    /// EXPERIMENTS.md).
+    pub fn with_prediction() -> Self {
+        Self {
+            power_demand: UniformGrid::new(-40_000.0, 60_000.0, 24),
+            speed: UniformGrid::new(0.0, 40.0, 10),
+            charge: UniformGrid::new(0.40, 0.80, 8),
+            prediction: Some(UniformGrid::new(-20_000.0, 40_000.0, 5)),
+        }
+    }
+
+    /// The same state space without the prediction dimension.
+    pub fn without_prediction() -> Self {
+        Self {
+            prediction: None,
+            ..Self::with_prediction()
+        }
+    }
+}
+
+impl Default for StateSpaceConfig {
+    fn default() -> Self {
+        Self::with_prediction()
+    }
+}
+
+/// One continuous observation to be quantized into a state index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateSample {
+    /// Propulsion power demand, W.
+    pub power_demand_w: f64,
+    /// Vehicle speed, m/s.
+    pub speed_mps: f64,
+    /// Battery state of charge (fraction).
+    pub soc: f64,
+    /// Predicted future power demand, W (ignored when the space has no
+    /// prediction dimension).
+    pub prediction_w: f64,
+}
+
+/// The discretized state space: quantizes [`StateSample`]s into flat
+/// indices for the Q-table.
+///
+/// # Examples
+///
+/// ```
+/// use hev_control::{StateSample, StateSpace, StateSpaceConfig};
+///
+/// let space = StateSpace::new(StateSpaceConfig::with_prediction());
+/// let s = space.encode(&StateSample {
+///     power_demand_w: 5_000.0,
+///     speed_mps: 12.0,
+///     soc: 0.62,
+///     prediction_w: 4_000.0,
+/// });
+/// assert!(s < space.n_states());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSpace {
+    config: StateSpaceConfig,
+    product: ProductSpace,
+}
+
+impl StateSpace {
+    /// Builds the space from its configuration.
+    pub fn new(config: StateSpaceConfig) -> Self {
+        let mut dims = vec![
+            config.power_demand.len(),
+            config.speed.len(),
+            config.charge.len(),
+        ];
+        if let Some(pre) = &config.prediction {
+            dims.push(pre.len());
+        }
+        Self {
+            product: ProductSpace::new(dims),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StateSpaceConfig {
+        &self.config
+    }
+
+    /// Whether the space includes the prediction dimension.
+    pub fn has_prediction(&self) -> bool {
+        self.config.prediction.is_some()
+    }
+
+    /// Total number of states.
+    pub fn n_states(&self) -> usize {
+        self.product.len()
+    }
+
+    /// Quantizes a sample into a flat state index.
+    pub fn encode(&self, sample: &StateSample) -> usize {
+        let mut idx = vec![
+            self.config.power_demand.index(sample.power_demand_w),
+            self.config.speed.index(sample.speed_mps),
+            self.config.charge.index(sample.soc),
+        ];
+        if let Some(pre) = &self.config.prediction {
+            idx.push(pre.index(sample.prediction_w));
+        }
+        self.product.flatten(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateSample {
+        StateSample {
+            power_demand_w: 0.0,
+            speed_mps: 10.0,
+            soc: 0.6,
+            prediction_w: 0.0,
+        }
+    }
+
+    #[test]
+    fn with_prediction_has_more_states() {
+        let with = StateSpace::new(StateSpaceConfig::with_prediction());
+        let without = StateSpace::new(StateSpaceConfig::without_prediction());
+        assert!(with.n_states() > without.n_states());
+        assert_eq!(with.n_states(), without.n_states() * 5);
+        assert!(with.has_prediction());
+        assert!(!without.has_prediction());
+    }
+
+    #[test]
+    fn encode_is_within_bounds_for_extremes() {
+        let space = StateSpace::new(StateSpaceConfig::with_prediction());
+        for pd in [-1e9, 0.0, 1e9] {
+            for v in [-5.0, 0.0, 500.0] {
+                for q in [0.0, 0.6, 1.0] {
+                    for pre in [-1e9, 0.0, 1e9] {
+                        let s = space.encode(&StateSample {
+                            power_demand_w: pd,
+                            speed_mps: v,
+                            soc: q,
+                            prediction_w: pre,
+                        });
+                        assert!(s < space.n_states());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_samples_share_state() {
+        let space = StateSpace::new(StateSpaceConfig::default());
+        let a = space.encode(&sample());
+        let mut s2 = sample();
+        s2.speed_mps += 0.01;
+        assert_eq!(a, space.encode(&s2));
+    }
+
+    #[test]
+    fn distinct_levels_produce_distinct_states() {
+        let space = StateSpace::new(StateSpaceConfig::default());
+        let a = space.encode(&sample());
+        let mut s2 = sample();
+        s2.soc = 0.79;
+        assert_ne!(a, space.encode(&s2));
+    }
+
+    #[test]
+    fn prediction_changes_state_only_when_enabled() {
+        let with = StateSpace::new(StateSpaceConfig::with_prediction());
+        let without = StateSpace::new(StateSpaceConfig::without_prediction());
+        let mut s2 = sample();
+        s2.prediction_w = 30_000.0;
+        assert_ne!(with.encode(&sample()), with.encode(&s2));
+        assert_eq!(without.encode(&sample()), without.encode(&s2));
+    }
+}

@@ -1,0 +1,200 @@
+//! CSV import/export of driving cycles.
+//!
+//! The format matches the common dynamometer-trace convention: a header
+//! line, then one `time_s,speed_kmh[,grade]` row per sample. Time stamps
+//! must be uniformly spaced.
+
+use crate::cycle::{DriveCycle, MPS_TO_KMH};
+use crate::error::CycleError;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Serializes a cycle to CSV (`time_s,speed_kmh[,grade]`).
+pub fn to_csv_string(cycle: &DriveCycle) -> String {
+    let has_grade = (0..cycle.len()).any(|i| cycle.grade_at(i) != 0.0);
+    let mut out = String::with_capacity(cycle.len() * 16);
+    out.push_str(if has_grade {
+        "time_s,speed_kmh,grade\n"
+    } else {
+        "time_s,speed_kmh\n"
+    });
+    for i in 0..cycle.len() {
+        let t = i as f64 * cycle.dt();
+        let v = cycle.speed_at(i) * MPS_TO_KMH;
+        if has_grade {
+            let _ = writeln!(out, "{t},{v},{}", cycle.grade_at(i));
+        } else {
+            let _ = writeln!(out, "{t},{v}");
+        }
+    }
+    out
+}
+
+/// Parses a cycle from CSV text (see [`to_csv_string`] for the format).
+///
+/// # Errors
+///
+/// Returns [`CycleError::ParseCsv`] for malformed rows or non-uniform
+/// time stamps, plus the usual construction errors.
+pub fn from_csv_str(name: impl Into<String>, text: &str) -> Result<DriveCycle, CycleError> {
+    let mut times = Vec::new();
+    let mut speeds_kmh = Vec::new();
+    let mut grades = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Skip a header row.
+        if line_no == 0 && trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let parse = |s: Option<&str>, what: &str| -> Result<f64, CycleError> {
+            s.and_then(|v| v.trim().parse::<f64>().ok())
+                .ok_or_else(|| CycleError::ParseCsv {
+                    line: line_no + 1,
+                    reason: format!("missing or invalid {what}"),
+                })
+        };
+        times.push(parse(fields.next(), "time")?);
+        speeds_kmh.push(parse(fields.next(), "speed")?);
+        if let Some(g) = fields.next() {
+            grades.push(parse(Some(g), "grade")?);
+        }
+    }
+    if times.is_empty() {
+        return Err(CycleError::Empty);
+    }
+    let dt = if times.len() >= 2 {
+        times[1] - times[0]
+    } else {
+        1.0
+    };
+    for w in times.windows(2) {
+        if ((w[1] - w[0]) - dt).abs() > 1e-6 {
+            return Err(CycleError::ParseCsv {
+                line: 0,
+                reason: "time stamps are not uniformly spaced".to_string(),
+            });
+        }
+    }
+    let speeds_mps = speeds_kmh.into_iter().map(|v| v / MPS_TO_KMH).collect();
+    if grades.is_empty() {
+        DriveCycle::from_speeds_mps(name, dt, speeds_mps)
+    } else if grades.len() == times.len() {
+        DriveCycle::with_grade(name, dt, speeds_mps, grades)
+    } else {
+        Err(CycleError::ParseCsv {
+            line: 0,
+            reason: "grade column present on only some rows".to_string(),
+        })
+    }
+}
+
+/// Writes a cycle to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CycleError::Io`] on filesystem errors.
+pub fn write_csv(cycle: &DriveCycle, path: impl AsRef<Path>) -> Result<(), CycleError> {
+    fs::write(path, to_csv_string(cycle)).map_err(|e| CycleError::Io {
+        reason: e.to_string(),
+    })
+}
+
+/// Reads a cycle from a CSV file; the cycle is named after the file stem.
+///
+/// # Errors
+///
+/// Returns [`CycleError::Io`] on filesystem errors, plus the conditions
+/// of [`from_csv_str`].
+pub fn read_csv(path: impl AsRef<Path>) -> Result<DriveCycle, CycleError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "cycle".to_string());
+    let text = fs::read_to_string(path).map_err(|e| CycleError::Io {
+        reason: e.to_string(),
+    })?;
+    from_csv_str(name, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardCycle;
+
+    #[test]
+    fn csv_roundtrip_flat() {
+        let cycle = StandardCycle::Oscar.cycle();
+        let csv = to_csv_string(&cycle);
+        let back = from_csv_str("OSCAR", &csv).unwrap();
+        assert_eq!(back.len(), cycle.len());
+        for i in 0..cycle.len() {
+            assert!(
+                (back.speed_at(i) - cycle.speed_at(i)).abs() < 1e-9,
+                "sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_with_grade() {
+        let cycle =
+            DriveCycle::with_grade("hill", 1.0, vec![5.0, 6.0, 7.0], vec![0.02, 0.02, -0.01])
+                .unwrap();
+        let csv = to_csv_string(&cycle);
+        assert!(csv.starts_with("time_s,speed_kmh,grade"));
+        let back = from_csv_str("hill", &csv).unwrap();
+        assert!((back.grade_at(2) + 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_headerless_csv() {
+        let back = from_csv_str("x", "0,36\n1,36\n2,36\n").unwrap();
+        assert_eq!(back.len(), 3);
+        assert!((back.speed_at(0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_garbage_rows() {
+        let err = from_csv_str("x", "time_s,speed_kmh\n0,ten\n").unwrap_err();
+        assert!(matches!(err, CycleError::ParseCsv { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_non_uniform_times() {
+        let err = from_csv_str("x", "0,10\n1,10\n3,10\n").unwrap_err();
+        assert!(matches!(err, CycleError::ParseCsv { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_text() {
+        assert_eq!(
+            from_csv_str("x", "time_s,speed_kmh\n").unwrap_err(),
+            CycleError::Empty
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cycle = StandardCycle::Nycc.cycle();
+        let path = std::env::temp_dir().join("drive_cycle_io_test.csv");
+        write_csv(&cycle, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.name(), "drive_cycle_io_test");
+        assert_eq!(back.len(), cycle.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_csv("/nonexistent/definitely/missing.csv").unwrap_err(),
+            CycleError::Io { .. }
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Summary statistics of driving cycles.
+
+use crate::cycle::{DriveCycle, MPS_TO_KMH};
+use serde::{Deserialize, Serialize};
+
+/// Speed below which the vehicle is considered idle, in m/s (0.36 km/h).
+pub const IDLE_THRESHOLD_MPS: f64 = 0.1;
+
+/// Summary statistics of a [`DriveCycle`].
+///
+/// # Examples
+///
+/// ```
+/// use drive_cycle::{DriveCycle, CycleStats};
+///
+/// let c = DriveCycle::from_speeds_mps("demo", 1.0, vec![0.0, 5.0, 10.0, 5.0, 0.0])?;
+/// let stats = CycleStats::of(&c);
+/// assert!(stats.max_speed_kmh > 0.0);
+/// # Ok::<(), drive_cycle::CycleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Total duration, seconds.
+    pub duration_s: f64,
+    /// Total distance, kilometers.
+    pub distance_km: f64,
+    /// Mean speed over the whole cycle (including idle), km/h.
+    pub mean_speed_kmh: f64,
+    /// Mean speed over moving samples only, km/h.
+    pub mean_moving_speed_kmh: f64,
+    /// Maximum speed, km/h.
+    pub max_speed_kmh: f64,
+    /// Maximum acceleration, m/s².
+    pub max_accel_mps2: f64,
+    /// Maximum deceleration (most negative acceleration), m/s².
+    pub max_decel_mps2: f64,
+    /// Root-mean-square acceleration, m/s².
+    pub rms_accel_mps2: f64,
+    /// Fraction of samples at idle (speed below [`IDLE_THRESHOLD_MPS`]).
+    pub idle_fraction: f64,
+    /// Number of stops: transitions from moving to idle.
+    pub stop_count: usize,
+    /// Fraction of samples spent accelerating (a > 0.05 m/s²).
+    pub accel_fraction: f64,
+    /// Fraction of samples spent braking (a < -0.05 m/s²).
+    pub decel_fraction: f64,
+    /// Mean positive specific power `v·a⁺` over moving samples, W/kg.
+    /// A mass-independent proxy for cycle aggressiveness (cf. EPA "PKE").
+    pub mean_positive_specific_power: f64,
+}
+
+impl CycleStats {
+    /// Computes the statistics of a cycle.
+    pub fn of(cycle: &DriveCycle) -> Self {
+        let n = cycle.len();
+        let dt = cycle.dt();
+        let mut max_v: f64 = 0.0;
+        let mut max_a = f64::NEG_INFINITY;
+        let mut min_a = f64::INFINITY;
+        let mut sum_a2 = 0.0;
+        let mut idle = 0usize;
+        let mut moving_sum = 0.0;
+        let mut moving_n = 0usize;
+        let mut stops = 0usize;
+        let mut accel_n = 0usize;
+        let mut decel_n = 0usize;
+        let mut pos_power_sum = 0.0;
+        let mut was_moving = false;
+        for i in 0..n {
+            let v = cycle.speed_at(i);
+            let a = cycle.accel_at(i);
+            max_v = max_v.max(v);
+            max_a = max_a.max(a);
+            min_a = min_a.min(a);
+            sum_a2 += a * a;
+            let is_moving = v > IDLE_THRESHOLD_MPS;
+            if is_moving {
+                moving_sum += v;
+                moving_n += 1;
+                pos_power_sum += v * a.max(0.0);
+            } else {
+                idle += 1;
+                if was_moving {
+                    stops += 1;
+                }
+            }
+            was_moving = is_moving;
+            if a > 0.05 {
+                accel_n += 1;
+            } else if a < -0.05 {
+                decel_n += 1;
+            }
+        }
+        let duration = cycle.duration_s();
+        let distance_m = cycle.distance_m();
+        Self {
+            duration_s: duration,
+            distance_km: distance_m / 1000.0,
+            mean_speed_kmh: distance_m / duration * MPS_TO_KMH,
+            mean_moving_speed_kmh: if moving_n > 0 {
+                moving_sum / moving_n as f64 * MPS_TO_KMH
+            } else {
+                0.0
+            },
+            max_speed_kmh: max_v * MPS_TO_KMH,
+            max_accel_mps2: if max_a.is_finite() { max_a } else { 0.0 },
+            max_decel_mps2: if min_a.is_finite() { min_a } else { 0.0 },
+            rms_accel_mps2: (sum_a2 / n as f64).sqrt(),
+            idle_fraction: idle as f64 / n as f64,
+            stop_count: stops,
+            accel_fraction: accel_n as f64 / n as f64,
+            decel_fraction: decel_n as f64 / n as f64,
+            mean_positive_specific_power: if moving_n > 0 {
+                pos_power_sum / moving_n as f64
+            } else {
+                0.0
+            },
+        }
+        .quantize(dt)
+    }
+
+    // Round durations that are within floating noise of an integer number
+    // of samples, keeping printed tables tidy.
+    fn quantize(mut self, _dt: f64) -> Self {
+        if (self.duration_s - self.duration_s.round()).abs() < 1e-9 {
+            self.duration_s = self.duration_s.round();
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saw() -> DriveCycle {
+        // 0 → 10 m/s → 0, then idle, then 0 → 5 → 0.
+        let mut v = Vec::new();
+        for i in 0..=10 {
+            v.push(i as f64);
+        }
+        for i in (0..10).rev() {
+            v.push(i as f64);
+        }
+        v.extend([0.0; 5]);
+        for x in [2.5, 5.0, 2.5, 0.0] {
+            v.push(x);
+        }
+        DriveCycle::from_speeds_mps("saw", 1.0, v).unwrap()
+    }
+
+    #[test]
+    fn max_speed_is_peak() {
+        let s = CycleStats::of(&saw());
+        assert!((s.max_speed_kmh - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_fraction_counts_zeros() {
+        let s = CycleStats::of(&saw());
+        assert!(s.idle_fraction > 0.15 && s.idle_fraction < 0.45);
+    }
+
+    #[test]
+    fn two_stops_detected() {
+        let s = CycleStats::of(&saw());
+        assert_eq!(s.stop_count, 2);
+    }
+
+    #[test]
+    fn mean_below_moving_mean() {
+        let s = CycleStats::of(&saw());
+        assert!(s.mean_speed_kmh < s.mean_moving_speed_kmh);
+    }
+
+    #[test]
+    fn accel_and_decel_bounds() {
+        let s = CycleStats::of(&saw());
+        assert!((s.max_accel_mps2 - 2.5).abs() < 1e-9);
+        assert!((s.max_decel_mps2 + 2.5).abs() < 1e-9);
+        assert!(s.rms_accel_mps2 > 0.0);
+    }
+
+    #[test]
+    fn fractions_in_unit_interval() {
+        let s = CycleStats::of(&saw());
+        for f in [s.idle_fraction, s.accel_fraction, s.decel_fraction] {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn constant_cruise_has_no_stops() {
+        let c = DriveCycle::from_speeds_mps("cruise", 1.0, vec![20.0; 60]).unwrap();
+        let s = CycleStats::of(&c);
+        assert_eq!(s.stop_count, 0);
+        assert_eq!(s.idle_fraction, 0.0);
+        assert!((s.mean_speed_kmh - 72.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn positive_specific_power_nonnegative() {
+        let s = CycleStats::of(&saw());
+        assert!(s.mean_positive_specific_power >= 0.0);
+    }
+}

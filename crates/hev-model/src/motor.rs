@@ -1,0 +1,273 @@
+//! Electric-machine model (paper Eq. 3–4) in loss-model form.
+//!
+//! Electrical power is `P_elec(T, ω) = T·ω + P_loss(T, ω)` with the
+//! separable loss model `P_loss = k_c·T² + k_i·ω + k_w·ω³ + c0`. The same
+//! expression covers both quadrants: motoring (`T ≥ 0`, `P_elec > 0`
+//! drawn from the bus) and generating (`T < 0`, `P_elec < 0` delivered to
+//! the bus, smaller in magnitude than the absorbed mechanical power).
+//!
+//! Because the loss model is quadratic in torque, the *inverse* map —
+//! "what torque results from routing `P_elec` through the machine at speed
+//! `ω`?" — is a closed-form quadratic root. This keeps the per-step inner
+//! optimization of the controller free of iterative solves.
+
+use crate::error::ParamError;
+use crate::params::MotorParams;
+use serde::{Deserialize, Serialize};
+
+/// Electric machine (motor/generator).
+///
+/// # Examples
+///
+/// ```
+/// use hev_model::{Motor, MotorParams};
+///
+/// let motor = Motor::new(MotorParams::default())?;
+/// let w = 300.0; // rad/s
+/// let p_elec = motor.electrical_power(40.0, w);
+/// let t = motor.torque_from_electrical_power(p_elec, w).unwrap();
+/// assert!((t - 40.0).abs() < 1e-9); // the maps are inverses
+/// # Ok::<(), hev_model::ParamError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Motor {
+    params: MotorParams,
+}
+
+impl Motor {
+    /// Creates a machine from validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if the parameters are invalid.
+    pub fn new(params: MotorParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// The machine's parameters.
+    pub fn params(&self) -> &MotorParams {
+        &self.params
+    }
+
+    /// Maximum shaft speed, rad/s.
+    pub fn max_speed(&self) -> f64 {
+        self.params.max_speed_rad_s
+    }
+
+    /// Maximum motoring torque at the given speed, N·m (Eq. 4's
+    /// `T_EM^max(ω)`): constant below base speed, power-limited above.
+    pub fn max_torque(&self, speed_rad_s: f64) -> f64 {
+        if speed_rad_s <= self.params.base_speed_rad_s() {
+            self.params.max_torque_nm
+        } else {
+            self.params.rated_power_w / speed_rad_s
+        }
+    }
+
+    /// Minimum (most negative, generating) torque at the given speed, N·m
+    /// (Eq. 4's `T_EM^min(ω)`); symmetric to the motoring envelope.
+    pub fn min_torque(&self, speed_rad_s: f64) -> f64 {
+        -self.max_torque(speed_rad_s)
+    }
+
+    /// Total machine + electronics loss at `(T, ω)`, W. Zero for a
+    /// de-energized stopped machine.
+    pub fn power_loss(&self, torque_nm: f64, speed_rad_s: f64) -> f64 {
+        if speed_rad_s == 0.0 && torque_nm == 0.0 {
+            return 0.0;
+        }
+        let p = &self.params;
+        p.copper_loss * torque_nm * torque_nm
+            + p.iron_loss * speed_rad_s
+            + p.windage_loss * speed_rad_s.powi(3)
+            + p.constant_loss
+    }
+
+    /// Electrical (DC-bus) power at `(T, ω)`, W. Positive = drawn from the
+    /// bus (motoring), negative = delivered to the bus (generating).
+    pub fn electrical_power(&self, torque_nm: f64, speed_rad_s: f64) -> f64 {
+        torque_nm * speed_rad_s + self.power_loss(torque_nm, speed_rad_s)
+    }
+
+    /// Machine efficiency per the paper's Eq. 3 (mechanical out over
+    /// electrical in while motoring; electrical out over mechanical in
+    /// while generating). Returns `None` when the ratio is undefined
+    /// (zero speed, or generating so little that losses consume all of the
+    /// recovered power).
+    pub fn efficiency(&self, torque_nm: f64, speed_rad_s: f64) -> Option<f64> {
+        let mech = torque_nm * speed_rad_s;
+        let elec = self.electrical_power(torque_nm, speed_rad_s);
+        if torque_nm >= 0.0 {
+            if elec <= 0.0 {
+                return None;
+            }
+            Some(mech / elec)
+        } else {
+            if mech >= 0.0 || elec >= 0.0 {
+                return None;
+            }
+            Some(elec / mech)
+        }
+    }
+
+    /// Inverse map: the torque that results from routing electrical power
+    /// `p_elec_w` through the machine at speed `ω` (closed form).
+    ///
+    /// Returns `None` when no real torque satisfies the power balance
+    /// (the machine cannot deliver that much power to the bus at this
+    /// speed) or when the machine is stalled (`ω ≤ 0`).
+    ///
+    /// The returned torque is *not* checked against the torque envelope;
+    /// callers combine this with [`Motor::max_torque`] /
+    /// [`Motor::min_torque`].
+    pub fn torque_from_electrical_power(&self, p_elec_w: f64, speed_rad_s: f64) -> Option<f64> {
+        if speed_rad_s <= 0.0 {
+            return None;
+        }
+        let p = &self.params;
+        // k_c·T² + ω·T + (fixed losses − p_elec) = 0
+        let a = p.copper_loss;
+        let b = speed_rad_s;
+        let c = p.iron_loss * speed_rad_s + p.windage_loss * speed_rad_s.powi(3) + p.constant_loss
+            - p_elec_w;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        // The physical branch: torque increases with electrical power and
+        // equals ~(p_elec − fixed losses)/ω for small copper loss.
+        Some((-b + disc.sqrt()) / (2.0 * a))
+    }
+
+    /// Whether `(T, ω)` lies inside the machine envelope of Eq. 4.
+    pub fn operating_point_feasible(&self, torque_nm: f64, speed_rad_s: f64) -> bool {
+        (0.0..=self.params.max_speed_rad_s).contains(&speed_rad_s)
+            && torque_nm <= self.max_torque(speed_rad_s)
+            && torque_nm >= self.min_torque(speed_rad_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn motor() -> Motor {
+        Motor::new(MotorParams::default()).unwrap()
+    }
+
+    #[test]
+    fn torque_envelope_constant_then_power_limited() {
+        let m = motor();
+        let base = m.params().base_speed_rad_s();
+        assert_eq!(m.max_torque(0.5 * base), 85.0);
+        let above = 2.0 * base;
+        assert!((m.max_torque(above) - 25_000.0 / above).abs() < 1e-9);
+        assert_eq!(m.min_torque(above), -m.max_torque(above));
+    }
+
+    #[test]
+    fn motoring_efficiency_realistic() {
+        let m = motor();
+        let eta = m.efficiency(50.0, 500.0).unwrap();
+        assert!((0.85..0.98).contains(&eta), "eta {eta}");
+    }
+
+    #[test]
+    fn generating_efficiency_realistic() {
+        let m = motor();
+        let eta = m.efficiency(-50.0, 500.0).unwrap();
+        assert!((0.80..0.98).contains(&eta), "eta {eta}");
+    }
+
+    #[test]
+    fn efficiency_none_when_losses_dominate_generation() {
+        let m = motor();
+        // Tiny regen torque at speed: losses exceed recovered power.
+        assert!(m.efficiency(-0.2, 100.0).is_none());
+    }
+
+    #[test]
+    fn electrical_power_signs() {
+        let m = motor();
+        assert!(m.electrical_power(40.0, 300.0) > 40.0 * 300.0); // motoring: input > output
+        let gen = m.electrical_power(-40.0, 300.0);
+        assert!(gen < 0.0 && gen > -40.0 * 300.0); // generating: |output| < |input|
+    }
+
+    #[test]
+    fn inverse_map_roundtrips_motoring_and_generating() {
+        let m = motor();
+        for &t in &[-80.0, -40.0, -5.0, 0.0, 5.0, 40.0, 80.0] {
+            for &w in &[50.0, 300.0, 800.0] {
+                // The forward map is only injective on the monotone branch
+                // T ≥ −ω/(2k_c); beyond it extra regen torque yields *less*
+                // electrical output, so the inverse returns the efficient
+                // branch by design.
+                if t < -w / (2.0 * m.params().copper_loss) {
+                    continue;
+                }
+                let p = m.electrical_power(t, w);
+                let t_back = m.torque_from_electrical_power(p, w).unwrap();
+                assert!((t_back - t).abs() < 1e-6, "t {t} w {w} got {t_back}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_map_prefers_efficient_generating_branch() {
+        let m = motor();
+        // At ω = 50 rad/s the loss parabola's vertex is at T = −62.5 N·m;
+        // T = −80 and its mirror produce the same electrical power, and the
+        // inverse must return the lower-torque (efficient) solution.
+        let w = 50.0;
+        let p = m.electrical_power(-80.0, w);
+        let t = m.torque_from_electrical_power(p, w).unwrap();
+        assert!(t > -62.5 && t < 0.0, "t {t}");
+        assert!((m.electrical_power(t, w) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_map_none_at_stall() {
+        assert!(motor().torque_from_electrical_power(1_000.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn inverse_map_none_for_impossible_generation() {
+        let m = motor();
+        // Demand far more power delivered to the bus than any torque at
+        // this speed could generate.
+        assert!(m.torque_from_electrical_power(-1.0e6, 100.0).is_none());
+    }
+
+    #[test]
+    fn stalled_deenergized_machine_has_no_loss() {
+        assert_eq!(motor().power_loss(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn feasibility_envelope() {
+        let m = motor();
+        assert!(m.operating_point_feasible(80.0, 100.0));
+        assert!(!m.operating_point_feasible(90.0, 100.0));
+        assert!(!m.operating_point_feasible(10.0, 2_000.0));
+        assert!(m.operating_point_feasible(-80.0, 100.0));
+        assert!(!m.operating_point_feasible(-90.0, 100.0));
+    }
+
+    #[test]
+    fn rated_point_efficiency_above_90_percent() {
+        let m = motor();
+        let w = 500.0;
+        let t = 25_000.0 / w;
+        let eta = m.efficiency(t, w).unwrap();
+        assert!(eta > 0.90, "eta {eta}");
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut p = MotorParams::default();
+        p.copper_loss = 0.0;
+        assert!(Motor::new(p).is_err());
+    }
+}

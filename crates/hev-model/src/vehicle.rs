@@ -1,0 +1,908 @@
+//! The assembled parallel HEV and its backward-looking step function.
+//!
+//! [`ParallelHev`] couples the engine, electric machine, battery,
+//! drivetrain, chassis, and auxiliary systems of §2 of the paper. A
+//! controller chooses the battery current `i`, the gear `R(k)`, and the
+//! auxiliary power `p_aux` (§2.2); all remaining quantities (engine and
+//! machine torques/speeds, fuel rate) are *dependent* variables the model
+//! resolves.
+//!
+//! # Control semantics
+//!
+//! * **Propelling, engine on** — the commanded current fixes the battery
+//!   power; the electric machine converts `P_batt − p_aux`; the engine
+//!   supplies the remaining shaft torque exactly.
+//! * **Propelling, engine off (EV)** — if the implied engine torque falls
+//!   below [`ICE_ON_MIN_NM`] (i.e. the electric path covers the demand),
+//!   the engine disengages and the *battery current follows the demand*;
+//!   the commanded current is an upper bound on discharge and the realized
+//!   current is reported in the outcome.
+//! * **Braking** — fuel is cut; the commanded current is a regeneration
+//!   *intent*, clamped to what the braking demand and machine envelope
+//!   admit; friction brakes absorb the remainder and the realized current
+//!   is reported in the outcome.
+//! * **Stopped** — the engine is off (automatic stop-start) and the
+//!   battery powers the auxiliary load regardless of the commanded
+//!   current.
+//!
+//! Any action that cannot be realized (torque/speed/current/window limits)
+//! returns an [`InfeasibleControl`]; controllers use
+//! [`ParallelHev::peek`] as an action mask.
+
+use crate::aux::AuxiliarySystems;
+use crate::battery::Battery;
+use crate::drivetrain::Drivetrain;
+use crate::dynamics::{VehicleBody, WheelDemand};
+use crate::error::{InfeasibleControl, ParamError};
+use crate::ice::Engine;
+use crate::motor::Motor;
+use crate::params::HevParams;
+use serde::{Deserialize, Serialize};
+
+/// Engine torque below which the engine shuts off and the step is
+/// realized in EV mode, N·m.
+pub const ICE_ON_MIN_NM: f64 = 1.0;
+/// Vehicle speed below which the vehicle counts as stopped, m/s.
+pub const STOP_SPEED_MPS: f64 = 0.05;
+/// Torque tolerance used for mode classification, N·m.
+const TORQUE_EPS: f64 = 1e-6;
+
+/// The control variables chosen by an HEV controller (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlInput {
+    /// Battery current `i`, A; positive discharges (paper convention).
+    pub battery_current_a: f64,
+    /// Gear index `k` (0-based).
+    pub gear: usize,
+    /// Auxiliary operating power `p_aux`, W.
+    pub p_aux_w: f64,
+}
+
+/// The realized operating mode of one step (the paper's five modes from
+/// §2, plus `Stopped` and `FrictionBraking` bookkeeping states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// Vehicle at rest; engine off; battery powers auxiliaries.
+    Stopped,
+    /// Mode (i): only the engine propels the vehicle.
+    IceOnly,
+    /// Mode (ii): only the electric machine propels the vehicle.
+    EvOnly,
+    /// Mode (iii): engine and machine propel together.
+    HybridAssist,
+    /// Mode (iv): the engine propels and charges the battery.
+    RechargeDrive,
+    /// Mode (v): regenerative braking.
+    RegenBraking,
+    /// Braking absorbed entirely by friction brakes.
+    FrictionBraking,
+}
+
+/// Everything that happened in one realized step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// The realized operating mode.
+    pub mode: OperatingMode,
+    /// Fuel mass flow, g/s.
+    pub fuel_rate_g_per_s: f64,
+    /// Fuel consumed this step, g (includes the restart penalty when the
+    /// engine started this step).
+    pub fuel_g: f64,
+    /// Whether the engine transitioned from stopped to running this step.
+    pub engine_started: bool,
+    /// Engine torque, N·m (0 when off).
+    pub ice_torque_nm: f64,
+    /// Engine speed, rad/s (0 when off).
+    pub ice_speed_rad_s: f64,
+    /// Machine torque, N·m.
+    pub em_torque_nm: f64,
+    /// Machine speed, rad/s.
+    pub em_speed_rad_s: f64,
+    /// Realized battery current, A (may differ from the commanded current
+    /// in EV and stopped modes).
+    pub battery_current_a: f64,
+    /// Battery terminal power, W.
+    pub battery_power_w: f64,
+    /// Auxiliary power, W.
+    pub p_aux_w: f64,
+    /// Utility `f_aux(p_aux)` of the auxiliary systems this step.
+    pub aux_utility: f64,
+    /// Friction-brake torque at the wheels, N·m (≤ 0).
+    pub friction_brake_torque_nm: f64,
+    /// State of charge before the step.
+    pub soc_before: f64,
+    /// State of charge after the step.
+    pub soc_after: f64,
+}
+
+/// The assembled parallel hybrid-electric vehicle.
+///
+/// # Examples
+///
+/// ```
+/// use hev_model::{ControlInput, HevParams, ParallelHev};
+///
+/// let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6)?;
+/// let demand = hev.demand(15.0, 0.3, 0.0); // 54 km/h accelerating
+/// let control = ControlInput { battery_current_a: 10.0, gear: 2, p_aux_w: 600.0 };
+/// let outcome = hev.step(&demand, &control, 1.0)?;
+/// assert!(outcome.fuel_g >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelHev {
+    body: VehicleBody,
+    engine: Engine,
+    motor: Motor,
+    battery: Battery,
+    drivetrain: Drivetrain,
+    aux: AuxiliarySystems,
+    /// Whether the engine was running at the end of the last committed
+    /// step (drives the restart fuel penalty).
+    engine_on: bool,
+}
+
+impl ParallelHev {
+    /// Assembles a vehicle from a validated parameter set at the given
+    /// initial state of charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] if any component parameters are invalid.
+    pub fn new(params: HevParams, initial_soc: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            body: VehicleBody::new(params.body)?,
+            engine: Engine::new(params.ice)?,
+            motor: Motor::new(params.motor)?,
+            battery: Battery::new(params.battery, initial_soc)?,
+            drivetrain: Drivetrain::new(params.drivetrain)?,
+            aux: AuxiliarySystems::new(params.aux)?,
+            engine_on: false,
+        })
+    }
+
+    /// The chassis model.
+    pub fn body(&self) -> &VehicleBody {
+        &self.body
+    }
+
+    /// The engine model.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The electric-machine model.
+    pub fn motor(&self) -> &Motor {
+        &self.motor
+    }
+
+    /// The battery pack (read access; stepping mutates it).
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The drivetrain model.
+    pub fn drivetrain(&self) -> &Drivetrain {
+        &self.drivetrain
+    }
+
+    /// The auxiliary-system model.
+    pub fn aux(&self) -> &AuxiliarySystems {
+        &self.aux
+    }
+
+    /// Current battery state of charge.
+    pub fn soc(&self) -> f64 {
+        self.battery.soc()
+    }
+
+    /// Resets the battery state of charge and stops the engine (between
+    /// episodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn reset_soc(&mut self, soc: f64) {
+        self.battery.reset(soc);
+        self.battery.reset_temperature();
+        self.engine_on = false;
+    }
+
+    /// Whether the engine was running at the end of the last committed
+    /// step.
+    pub fn engine_on(&self) -> bool {
+        self.engine_on
+    }
+
+    /// Wheel-level demand for a `(v, a, grade)` sample (Eq. 5–7).
+    pub fn demand(&self, speed_mps: f64, accel_mps2: f64, grade: f64) -> WheelDemand {
+        self.body.demand(speed_mps, accel_mps2, grade)
+    }
+
+    /// Resolves a control input at the current state *without* mutating
+    /// the vehicle. Controllers use this as an action-feasibility mask
+    /// and for inner optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`InfeasibleControl`] reason when the powertrain cannot
+    /// realize the input.
+    pub fn peek(
+        &self,
+        demand: &WheelDemand,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        self.drivetrain.ratio(control.gear)?;
+        self.aux.check_power(control.p_aux_w)?;
+
+        let mut outcome = if demand.speed_mps < STOP_SPEED_MPS {
+            self.resolve_stopped(control, dt)?
+        } else if demand.wheel_torque_nm < 0.0 {
+            self.resolve_braking(demand, control, dt)?
+        } else {
+            self.resolve_propelling(demand, control, dt)?
+        };
+        let running = outcome.ice_speed_rad_s > 0.0;
+        if running && !self.engine_on {
+            outcome.engine_started = true;
+            outcome.fuel_g += self.engine.params().start_fuel_penalty_g;
+        }
+        Ok(outcome)
+    }
+
+    /// Resolves a control input and commits the battery state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParallelHev::peek`]; the state is unchanged on
+    /// error.
+    pub fn step(
+        &mut self,
+        demand: &WheelDemand,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let outcome = self.peek(demand, control, dt)?;
+        // Commit through the battery's own step so the Coulomb counter
+        // and (when enabled) the thermal state advance together.
+        self.battery
+            .step(outcome.battery_current_a, dt)
+            .expect("peek validated the battery step");
+        debug_assert!((self.battery.soc() - outcome.soc_after).abs() < 1e-12);
+        self.engine_on = outcome.ice_speed_rad_s > 0.0;
+        Ok(outcome)
+    }
+
+    // ---- mode resolvers -------------------------------------------------
+
+    fn resolve_stopped(
+        &self,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        // The bus must balance: the battery covers exactly the auxiliary
+        // load; the commanded current is ignored (documented override).
+        let i = self.battery.current_for_power(control.p_aux_w).ok_or(
+            InfeasibleControl::BatteryPower {
+                power_w: control.p_aux_w,
+            },
+        )?;
+        self.battery.check_current(i)?;
+        let soc_after = self.battery.soc_after(i, dt);
+        if !self.battery.in_window(soc_after) {
+            // The pack sits at the charge-sustaining floor: the engine
+            // idles and carries the auxiliary load through its accessory
+            // drive instead (the stop-start system keeps it running).
+            return Ok(StepOutcome {
+                mode: OperatingMode::Stopped,
+                fuel_rate_g_per_s: self.engine.params().idle_fuel_g_per_s,
+                fuel_g: self.engine.params().idle_fuel_g_per_s * dt,
+                engine_started: false,
+                ice_torque_nm: 0.0,
+                ice_speed_rad_s: self.engine.min_speed(),
+                em_torque_nm: 0.0,
+                em_speed_rad_s: 0.0,
+                battery_current_a: 0.0,
+                battery_power_w: 0.0,
+                p_aux_w: control.p_aux_w,
+                aux_utility: self.aux.utility(control.p_aux_w),
+                friction_brake_torque_nm: 0.0,
+                soc_before: self.battery.soc(),
+                soc_after: self.battery.soc(),
+            });
+        }
+        Ok(StepOutcome {
+            mode: OperatingMode::Stopped,
+            fuel_rate_g_per_s: 0.0,
+            fuel_g: 0.0,
+            engine_started: false,
+            ice_torque_nm: 0.0,
+            ice_speed_rad_s: 0.0,
+            em_torque_nm: 0.0,
+            em_speed_rad_s: 0.0,
+            battery_current_a: i,
+            battery_power_w: control.p_aux_w,
+            p_aux_w: control.p_aux_w,
+            aux_utility: self.aux.utility(control.p_aux_w),
+            friction_brake_torque_nm: 0.0,
+            soc_before: self.battery.soc(),
+            soc_after,
+        })
+    }
+
+    fn resolve_propelling(
+        &self,
+        demand: &WheelDemand,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let gear = control.gear;
+        let w_em = self.drivetrain.em_speed(demand.wheel_speed_rad_s, gear);
+        self.check_motor_speed(w_em)?;
+
+        self.battery.check_current(control.battery_current_a)?;
+        let p_batt = self.battery.terminal_power(control.battery_current_a);
+        let p_em_elec = p_batt - control.p_aux_w;
+        let t_em = self
+            .motor
+            .torque_from_electrical_power(p_em_elec, w_em)
+            .ok_or(InfeasibleControl::MotorPower {
+                p_elec_w: p_em_elec,
+                speed_rad_s: w_em,
+            })?;
+        self.check_motor_torque(t_em, w_em)?;
+
+        let t_shaft = self
+            .drivetrain
+            .required_shaft_torque(demand.wheel_torque_nm, gear);
+        let t_ice = t_shaft - self.drivetrain.em_shaft_torque(t_em);
+
+        if t_ice > ICE_ON_MIN_NM {
+            // Engine-on: the commanded current holds; the engine supplies
+            // the remaining torque exactly. Below the geared idle speed
+            // the launch clutch slips: the engine runs at idle and
+            // transmits the torque across the slipping clutch.
+            let w_geared = self.drivetrain.ice_speed(demand.wheel_speed_rad_s, gear);
+            let w_ice = w_geared.max(self.engine.min_speed());
+            if w_ice > self.engine.max_speed() {
+                return Err(InfeasibleControl::EngineSpeed {
+                    speed_rad_s: w_ice,
+                    min_rad_s: self.engine.min_speed(),
+                    max_rad_s: self.engine.max_speed(),
+                });
+            }
+            let t_max = self.engine.max_torque(w_ice);
+            if t_ice > t_max {
+                return Err(InfeasibleControl::EngineTorque {
+                    torque_nm: t_ice,
+                    max_nm: t_max,
+                });
+            }
+            let soc_after = self.battery.soc_after(control.battery_current_a, dt);
+            self.check_window(soc_after)?;
+            let fuel_rate = self.engine.fuel_rate(t_ice, w_ice);
+            let mode = if t_em > TORQUE_EPS {
+                OperatingMode::HybridAssist
+            } else if t_em < -TORQUE_EPS {
+                OperatingMode::RechargeDrive
+            } else {
+                OperatingMode::IceOnly
+            };
+            Ok(StepOutcome {
+                mode,
+                fuel_rate_g_per_s: fuel_rate,
+                fuel_g: fuel_rate * dt,
+                engine_started: false,
+                ice_torque_nm: t_ice,
+                ice_speed_rad_s: w_ice,
+                em_torque_nm: t_em,
+                em_speed_rad_s: w_em,
+                battery_current_a: control.battery_current_a,
+                battery_power_w: p_batt,
+                p_aux_w: control.p_aux_w,
+                aux_utility: self.aux.utility(control.p_aux_w),
+                friction_brake_torque_nm: 0.0,
+                soc_before: self.battery.soc(),
+                soc_after,
+            })
+        } else {
+            // The electric path covers (or would over-deliver) the whole
+            // demand: the engine disengages and the step resolves in EV
+            // mode with the battery current *following the demand* — the
+            // commanded current acts as an upper bound on discharge.
+            self.resolve_ev(demand, control, w_em, t_shaft, dt)
+        }
+    }
+
+    fn resolve_ev(
+        &self,
+        demand: &WheelDemand,
+        control: &ControlInput,
+        w_em: f64,
+        t_shaft: f64,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let p = self.drivetrain.params();
+        // Invert the machine's shaft contribution: ρ·T_EM·η^α = t_shaft.
+        let t_em = if t_shaft >= 0.0 {
+            t_shaft / (p.reduction_ratio * p.reduction_efficiency)
+        } else {
+            t_shaft * p.reduction_efficiency / p.reduction_ratio
+        };
+        self.check_motor_torque(t_em, w_em)?;
+        let p_em_elec = self.motor.electrical_power(t_em, w_em);
+        let p_batt = p_em_elec + control.p_aux_w;
+        let i = self
+            .battery
+            .current_for_power(p_batt)
+            .ok_or(InfeasibleControl::BatteryPower { power_w: p_batt })?;
+        self.battery.check_current(i)?;
+        let soc_after = self.battery.soc_after(i, dt);
+        self.check_window(soc_after)?;
+        Ok(StepOutcome {
+            mode: OperatingMode::EvOnly,
+            fuel_rate_g_per_s: 0.0,
+            fuel_g: 0.0,
+            engine_started: false,
+            ice_torque_nm: 0.0,
+            ice_speed_rad_s: 0.0,
+            em_torque_nm: t_em,
+            em_speed_rad_s: w_em,
+            battery_current_a: i,
+            battery_power_w: p_batt,
+            p_aux_w: control.p_aux_w,
+            aux_utility: self.aux.utility(control.p_aux_w),
+            friction_brake_torque_nm: 0.0,
+            soc_before: self.battery.soc(),
+            soc_after,
+        })
+        .map(|mut o| {
+            // Preserve the wheel-torque bookkeeping for zero-demand coast.
+            if demand.wheel_torque_nm.abs() < TORQUE_EPS && t_em.abs() < TORQUE_EPS {
+                o.em_torque_nm = 0.0;
+            }
+            o
+        })
+    }
+
+    fn resolve_braking(
+        &self,
+        demand: &WheelDemand,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let gear = control.gear;
+        let w_em = self.drivetrain.em_speed(demand.wheel_speed_rad_s, gear);
+        self.check_motor_speed(w_em)?;
+        self.battery.check_current(control.battery_current_a)?;
+
+        // Fuel cut: the engine is off. The commanded current expresses a
+        // *regeneration intent*: the machine recovers as much as the
+        // command asks for, clamped to what the braking demand and the
+        // machine envelope admit; friction brakes absorb the remainder.
+        let p = self.drivetrain.params();
+        let t_shaft = self
+            .drivetrain
+            .required_shaft_torque(demand.wheel_torque_nm, gear);
+        // Regen torque that would cover the whole braking demand
+        // (α = −1 branch of Eq. 9).
+        let t_em_full = t_shaft * p.reduction_efficiency / p.reduction_ratio;
+        let regen_floor = t_em_full.max(self.motor.min_torque(w_em));
+
+        let p_batt_cmd = self.battery.terminal_power(control.battery_current_a);
+        let t_em_cmd = self
+            .motor
+            .torque_from_electrical_power(p_batt_cmd - control.p_aux_w, w_em)
+            .unwrap_or(regen_floor);
+        let t_em = t_em_cmd.clamp(regen_floor, 0.0);
+
+        // Re-derive the realized battery current from the clamped torque.
+        let p_batt = self.motor.electrical_power(t_em, w_em) + control.p_aux_w;
+        let i = self
+            .battery
+            .current_for_power(p_batt)
+            .ok_or(InfeasibleControl::BatteryPower { power_w: p_batt })?;
+        self.battery.check_current(i)?;
+
+        let t_wh_em = self.drivetrain.wheel_torque(0.0, t_em, gear);
+        let friction = (demand.wheel_torque_nm - t_wh_em).min(0.0);
+        let soc_after = self.battery.soc_after(i, dt);
+        self.check_window(soc_after)?;
+        let mode = if t_em < -TORQUE_EPS {
+            OperatingMode::RegenBraking
+        } else {
+            OperatingMode::FrictionBraking
+        };
+        Ok(StepOutcome {
+            mode,
+            fuel_rate_g_per_s: 0.0,
+            fuel_g: 0.0,
+            engine_started: false,
+            ice_torque_nm: 0.0,
+            ice_speed_rad_s: 0.0,
+            em_torque_nm: t_em,
+            em_speed_rad_s: w_em,
+            battery_current_a: i,
+            battery_power_w: p_batt,
+            p_aux_w: control.p_aux_w,
+            aux_utility: self.aux.utility(control.p_aux_w),
+            friction_brake_torque_nm: friction,
+            soc_before: self.battery.soc(),
+            soc_after,
+        })
+    }
+
+    // ---- shared checks ---------------------------------------------------
+
+    fn check_window(&self, soc_after: f64) -> Result<(), InfeasibleControl> {
+        if !self.battery.in_window(soc_after) {
+            return Err(InfeasibleControl::BatteryWindow {
+                soc_after,
+                soc_min: self.battery.params().soc_min,
+                soc_max: self.battery.params().soc_max,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_motor_speed(&self, w_em: f64) -> Result<(), InfeasibleControl> {
+        if w_em > self.motor.max_speed() {
+            return Err(InfeasibleControl::MotorSpeed {
+                speed_rad_s: w_em,
+                max_rad_s: self.motor.max_speed(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_motor_torque(&self, t_em: f64, w_em: f64) -> Result<(), InfeasibleControl> {
+        let (min_nm, max_nm) = (self.motor.min_torque(w_em), self.motor.max_torque(w_em));
+        if !(min_nm..=max_nm).contains(&t_em) {
+            return Err(InfeasibleControl::MotorTorque {
+                torque_nm: t_em,
+                min_nm,
+                max_nm,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hev() -> ParallelHev {
+        ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap()
+    }
+
+    fn ctl(i: f64, gear: usize, aux: f64) -> ControlInput {
+        ControlInput {
+            battery_current_a: i,
+            gear,
+            p_aux_w: aux,
+        }
+    }
+
+    #[test]
+    fn stopped_covers_aux_from_battery() {
+        let hev = hev();
+        let d = hev.demand(0.0, 0.0, 0.0);
+        let o = hev.peek(&d, &ctl(50.0, 0, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::Stopped);
+        assert_eq!(o.fuel_g, 0.0);
+        assert!(o.battery_current_a > 0.0 && o.battery_current_a < 3.0);
+        assert!(o.soc_after < o.soc_before);
+    }
+
+    #[test]
+    fn moderate_cruise_engine_on() {
+        let hev = hev();
+        // 72 km/h cruise in 4th gear, no battery assist.
+        let d = hev.demand(20.0, 0.0, 0.0);
+        let o = hev.peek(&d, &ctl(2.0, 3, 600.0), 1.0).unwrap();
+        assert!(matches!(
+            o.mode,
+            OperatingMode::IceOnly | OperatingMode::HybridAssist | OperatingMode::RechargeDrive
+        ));
+        assert!(o.fuel_g > 0.0);
+        assert!(o.ice_torque_nm > 0.0);
+        assert!(hev.engine().speed_in_range(o.ice_speed_rad_s));
+    }
+
+    #[test]
+    fn strong_discharge_gives_hybrid_assist() {
+        let hev = hev();
+        let d = hev.demand(20.0, 1.0, 0.0); // hard acceleration
+        let o = hev.peek(&d, &ctl(60.0, 2, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::HybridAssist);
+        assert!(o.em_torque_nm > 0.0);
+        assert!(o.ice_torque_nm > 0.0);
+    }
+
+    #[test]
+    fn charging_while_driving() {
+        let hev = hev();
+        let d = hev.demand(20.0, 0.0, 0.0);
+        let o = hev.peek(&d, &ctl(-20.0, 3, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::RechargeDrive);
+        assert!(o.em_torque_nm < 0.0);
+        assert!(o.soc_after > o.soc_before);
+        // Charging costs extra engine torque, hence extra fuel.
+        let o_nocharge = hev.peek(&d, &ctl(2.0, 3, 600.0), 1.0).unwrap();
+        assert!(o.fuel_g > o_nocharge.fuel_g);
+    }
+
+    #[test]
+    fn generous_current_low_speed_resolves_ev() {
+        let hev = hev();
+        // Gentle launch with enough commanded discharge: the machine alone
+        // covers the demand, the engine stays off, and the realized
+        // current follows the demand (less than commanded).
+        let d = hev.demand(3.0, 0.3, 0.0);
+        let o = hev.peek(&d, &ctl(20.0, 0, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::EvOnly);
+        assert_eq!(o.fuel_g, 0.0);
+        assert!(o.em_torque_nm > 0.0);
+        assert!(o.battery_current_a > 0.0);
+        assert!(o.battery_current_a < 20.0);
+        assert!(o.soc_after < o.soc_before);
+    }
+
+    #[test]
+    fn zero_current_low_speed_keeps_engine_on() {
+        let hev = hev();
+        // With no commanded discharge the engine must carry the demand and
+        // the machine generates to power the auxiliaries.
+        let d = hev.demand(3.0, 0.3, 0.0);
+        let o = hev.peek(&d, &ctl(0.0, 0, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::RechargeDrive);
+        assert!(o.fuel_g > 0.0);
+    }
+
+    #[test]
+    fn braking_regenerates() {
+        let hev = hev();
+        let d = hev.demand(15.0, -1.5, 0.0);
+        assert!(d.wheel_torque_nm < 0.0);
+        let o = hev.peek(&d, &ctl(-30.0, 2, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::RegenBraking);
+        assert!(o.em_torque_nm < 0.0);
+        assert!(o.friction_brake_torque_nm <= 0.0);
+        assert!(o.soc_after > o.soc_before);
+        assert_eq!(o.fuel_g, 0.0);
+    }
+
+    #[test]
+    fn braking_with_zero_current_is_mostly_friction() {
+        let hev = hev();
+        let d = hev.demand(15.0, -1.5, 0.0);
+        let o = hev.peek(&d, &ctl(0.0, 2, 600.0), 1.0).unwrap();
+        // Current 0 means the pack neither charges nor discharges; the
+        // machine covers only the aux load via slight regen.
+        assert!(o.friction_brake_torque_nm < -100.0);
+    }
+
+    #[test]
+    fn discharge_command_during_braking_clamps_to_friction() {
+        let hev = hev();
+        let d = hev.demand(15.0, -1.5, 0.0);
+        // A discharge command makes no sense while braking: the machine
+        // torque clamps to zero and friction absorbs the whole demand.
+        let o = hev.peek(&d, &ctl(40.0, 2, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::FrictionBraking);
+        assert_eq!(o.em_torque_nm, 0.0);
+        assert!(o.friction_brake_torque_nm < -100.0);
+        // The realized current only covers the auxiliary load and the
+        // spinning machine's losses.
+        assert!(o.battery_current_a > 0.0 && o.battery_current_a < 10.0);
+    }
+
+    #[test]
+    fn excess_regen_command_is_clamped_to_demand() {
+        let hev = hev();
+        // Very gentle braking but an enormous charging command: the regen
+        // clamps to what the braking demand admits, friction stays ~0,
+        // and the realized charging current is far smaller than commanded.
+        let d = hev.demand(10.0, -0.35, 0.0);
+        let o = hev.peek(&d, &ctl(-80.0, 2, 600.0), 1.0).unwrap();
+        assert!(o.em_torque_nm < 0.0);
+        assert!(o.friction_brake_torque_nm > -1.0);
+        assert!(o.battery_current_a > -80.0);
+    }
+
+    #[test]
+    fn light_braking_is_feasible_at_any_ladder_current() {
+        // The regression that motivated intent-clamped braking: a barely
+        // decelerating coast must accept coarse current commands.
+        let hev = hev();
+        let d = hev.demand(4.1, -0.12, 0.0);
+        assert!(d.wheel_torque_nm < 0.0);
+        for i in [-60.0, -25.0, -8.0, 0.0, 8.0, 25.0] {
+            for gear in 0..3 {
+                assert!(
+                    hev.peek(&d, &ctl(i, gear, 600.0), 1.0).is_ok(),
+                    "i={i} gear={gear}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_gear_overspeeds_engine() {
+        let hev = hev();
+        // 90 km/h in 1st gear.
+        let d = hev.demand(25.0, 0.0, 0.0);
+        let err = hev.peek(&d, &ctl(5.0, 0, 600.0), 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            InfeasibleControl::EngineSpeed { .. } | InfeasibleControl::MotorSpeed { .. }
+        ));
+    }
+
+    #[test]
+    fn too_tall_gear_cannot_climb() {
+        let hev = hev();
+        // 10 km/h in 5th gear on a steep hill: the slipping-clutch engine
+        // cannot deliver the shaft torque a top-gear launch would need.
+        let d = hev.demand(2.78, 1.2, 0.10);
+        let err = hev.peek(&d, &ctl(5.0, 4, 600.0), 1.0).unwrap_err();
+        assert!(matches!(err, InfeasibleControl::EngineTorque { .. }));
+    }
+
+    #[test]
+    fn clutch_slip_allows_engine_launch_at_soc_floor() {
+        let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.4).unwrap();
+        // 7.2 km/h, moderate demand, battery at the floor: EV is masked by
+        // the charge window, but a 1st-gear slipping-clutch launch works.
+        let d = hev.demand(2.0, 0.5, 0.0);
+        let o = hev.step(&d, &ctl(0.0, 0, 600.0), 1.0).unwrap();
+        assert!(o.fuel_g > 0.0);
+        assert_eq!(o.ice_speed_rad_s, hev.engine().min_speed());
+    }
+
+    #[test]
+    fn invalid_gear_rejected() {
+        let hev = hev();
+        let d = hev.demand(10.0, 0.0, 0.0);
+        assert!(matches!(
+            hev.peek(&d, &ctl(0.0, 9, 600.0), 1.0),
+            Err(InfeasibleControl::InvalidGear { .. })
+        ));
+    }
+
+    #[test]
+    fn aux_out_of_range_rejected() {
+        let hev = hev();
+        let d = hev.demand(10.0, 0.0, 0.0);
+        assert!(matches!(
+            hev.peek(&d, &ctl(0.0, 2, 5_000.0), 1.0),
+            Err(InfeasibleControl::AuxPowerRange { .. })
+        ));
+    }
+
+    #[test]
+    fn step_commits_soc_peek_does_not() {
+        let mut hev = hev();
+        let d = hev.demand(3.0, 0.3, 0.0);
+        let c = ctl(20.0, 0, 600.0);
+        let soc0 = hev.soc();
+        let _ = hev.peek(&d, &c, 1.0).unwrap();
+        assert_eq!(hev.soc(), soc0);
+        let o = hev.step(&d, &c, 1.0).unwrap();
+        assert_eq!(hev.soc(), o.soc_after);
+        assert!(hev.soc() < soc0);
+    }
+
+    #[test]
+    fn step_leaves_state_untouched_on_error() {
+        let mut hev = hev();
+        let d = hev.demand(25.0, 0.0, 0.0);
+        let soc0 = hev.soc();
+        assert!(hev.step(&d, &ctl(5.0, 0, 600.0), 1.0).is_err());
+        assert_eq!(hev.soc(), soc0);
+    }
+
+    #[test]
+    fn torque_balance_holds_when_engine_on() {
+        let hev = hev();
+        let d = hev.demand(20.0, 0.5, 0.0);
+        let o = hev.peek(&d, &ctl(10.0, 2, 600.0), 1.0).unwrap();
+        let back = hev
+            .drivetrain()
+            .wheel_torque(o.ice_torque_nm, o.em_torque_nm, 2);
+        assert!(
+            (back - d.wheel_torque_nm).abs() < 1e-6,
+            "got {back} want {}",
+            d.wheel_torque_nm
+        );
+    }
+
+    #[test]
+    fn higher_aux_power_draws_more_from_battery_in_ev() {
+        let hev = hev();
+        let d = hev.demand(3.0, 0.2, 0.0);
+        let lo = hev.peek(&d, &ctl(20.0, 0, 100.0), 1.0).unwrap();
+        let hi = hev.peek(&d, &ctl(20.0, 0, 1_500.0), 1.0).unwrap();
+        assert!(hi.battery_current_a > lo.battery_current_a);
+        assert!(hi.aux_utility < lo.aux_utility.max(1.0));
+    }
+
+    #[test]
+    fn energy_conservation_engine_on() {
+        // Fuel power >= wheel power + battery charging power (losses are
+        // non-negative).
+        let hev = hev();
+        let d = hev.demand(20.0, 0.3, 0.0);
+        let o = hev.peek(&d, &ctl(-15.0, 3, 600.0), 1.0).unwrap();
+        let fuel_power = o.fuel_rate_g_per_s * hev.engine().params().fuel_lhv_j_per_g;
+        let wheel_power = d.power_demand_w;
+        let charge_power = -o.battery_power_w + o.p_aux_w; // stored + aux
+        assert!(fuel_power > wheel_power + charge_power);
+    }
+
+    #[test]
+    fn restart_penalty_applies_once() {
+        let mut hev = hev();
+        let d = hev.demand(20.0, 0.0, 0.0);
+        let c = ctl(2.0, 3, 600.0);
+        assert!(!hev.engine_on());
+        let first = hev.step(&d, &c, 1.0).unwrap();
+        assert!(first.engine_started);
+        assert!(hev.engine_on());
+        let second = hev.step(&d, &c, 1.0).unwrap();
+        assert!(!second.engine_started);
+        let penalty = hev.engine().params().start_fuel_penalty_g;
+        // The second step starts from a marginally different state of
+        // charge, so compare with a loose tolerance.
+        assert!((first.fuel_g - second.fuel_g - penalty).abs() < 0.02);
+    }
+
+    #[test]
+    fn ev_steps_do_not_restart_engine() {
+        let mut hev = hev();
+        let d = hev.demand(3.0, 0.3, 0.0);
+        let o = hev.step(&d, &ctl(20.0, 0, 600.0), 1.0).unwrap();
+        assert_eq!(o.mode, OperatingMode::EvOnly);
+        assert!(!o.engine_started);
+        assert_eq!(o.fuel_g, 0.0);
+        assert!(!hev.engine_on());
+    }
+
+    #[test]
+    fn reset_soc_stops_engine() {
+        let mut hev = hev();
+        let d = hev.demand(20.0, 0.0, 0.0);
+        hev.step(&d, &ctl(2.0, 3, 600.0), 1.0).unwrap();
+        assert!(hev.engine_on());
+        hev.reset_soc(0.6);
+        assert!(!hev.engine_on());
+    }
+
+    #[test]
+    fn top_speed_is_bounded_by_motor_overspeed() {
+        // The machine rides the gearbox through a fixed 2:1 reduction, so
+        // above ω_EM^max/(R_top·ρ_reg) ≈ 47.8 m/s (172 km/h) every gear
+        // overspeeds it: that *is* the vehicle's top speed.
+        let hev = hev();
+        let d = hev.demand(48.0, 0.0, 0.0);
+        for gear in 0..5 {
+            assert!(matches!(
+                hev.peek(&d, &ctl(0.0, gear, 600.0), 1.0),
+                Err(InfeasibleControl::MotorSpeed { .. })
+                    | Err(InfeasibleControl::EngineSpeed { .. })
+            ));
+        }
+        // Just below the limit the top gear works.
+        let d_ok = hev.demand(47.0, 0.0, 0.0);
+        assert!(hev.peek(&d_ok, &ctl(0.0, 4, 600.0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn reset_soc_roundtrips() {
+        let mut hev = hev();
+        hev.reset_soc(0.75);
+        assert_eq!(hev.soc(), 0.75);
+    }
+}

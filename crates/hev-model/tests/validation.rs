@@ -1,0 +1,175 @@
+//! Validation against hand-computed physics: every number here was
+//! derived independently from the model equations with a calculator, so
+//! a regression in any component shows up as a factual disagreement,
+//! not just a changed snapshot.
+
+use hev_model::{
+    Battery, BatteryParams, BodyParams, ControlInput, Drivetrain, DrivetrainParams, Engine,
+    HevParams, IceParams, Motor, MotorParams, ParallelHev, VehicleBody,
+};
+
+#[test]
+fn tractive_force_100_kmh_cruise() {
+    // v = 27.78 m/s, a = 0, flat:
+    //   F_roll = 1350 · 9.81 · 0.009            = 119.19 N
+    //   F_drag = 0.5 · 1.2 · 0.30 · 2.0 · v²    = 0.36 · 771.6 = 277.8 N
+    let body = VehicleBody::new(BodyParams::default()).unwrap();
+    let f = body.tractive_force(27.78, 0.0, 0.0);
+    assert!((f - (119.19 + 277.79)).abs() < 0.5, "F = {f}");
+    // Power ≈ 11.0 kW.
+    let p = body.demand(27.78, 0.0, 0.0).power_demand_w;
+    assert!((p - 11_028.0).abs() < 50.0, "P = {p}");
+}
+
+#[test]
+fn grade_force_5_percent() {
+    // 5 % grade: θ = atan(0.05), F_g = m·g·sinθ = 1350·9.81·0.049938 ≈ 661 N.
+    let body = VehicleBody::new(BodyParams::default()).unwrap();
+    let with = body.tractive_force(10.0, 0.0, 0.05);
+    let without = body.tractive_force(10.0, 0.0, 0.0);
+    assert!(
+        ((with - without) - 661.4).abs() < 2.0,
+        "F_g = {}",
+        with - without
+    );
+}
+
+#[test]
+fn engine_fuel_at_best_point() {
+    // Best point: ω = 261.8 rad/s (2500 rpm), load 0.8 of T_max.
+    // T_max(2500 rpm) interpolates 95→105 N·m at the midpoint = 100 N·m,
+    // so T = 80 N·m, P = 20.94 kW, η = 0.36:
+    //   ṁ = P / (η·42600) = 20944 / 15336 ≈ 1.366 g/s.
+    let e = Engine::new(IceParams::default()).unwrap();
+    let w = 2_500.0 * std::f64::consts::PI / 30.0;
+    let t = 0.8 * e.max_torque(w);
+    assert!((e.max_torque(w) - 100.0).abs() < 0.1);
+    let mdot = e.fuel_rate(t, w);
+    assert!((mdot - 1.366).abs() < 0.01, "mdot = {mdot}");
+}
+
+#[test]
+fn motor_losses_at_rated_point() {
+    // ω = 500 rad/s, T = 50 N·m (25 kW mech):
+    //   P_loss = 0.4·2500 + 0.6·500 + 2e-7·1.25e8 + 50
+    //          = 1000 + 300 + 25 + 50 = 1375 W
+    //   η = 25000 / 26375 ≈ 0.9479.
+    let m = Motor::new(MotorParams::default()).unwrap();
+    assert!((m.power_loss(50.0, 500.0) - 1_375.0).abs() < 1e-9);
+    let eta = m.efficiency(50.0, 500.0).unwrap();
+    assert!((eta - 0.9479).abs() < 0.001, "eta = {eta}");
+}
+
+#[test]
+fn battery_terminal_voltage_drop() {
+    // At 60 % SoC: V_oc = 270 + 60·0.6 = 306 V.
+    // Discharging 50 A: P = 306·50 − 0.3·2500 = 15300 − 750 = 14550 W.
+    let b = Battery::new(BatteryParams::default(), 0.6).unwrap();
+    assert!((b.ocv() - 306.0).abs() < 1e-12);
+    assert!((b.terminal_power(50.0) - 14_550.0).abs() < 1e-9);
+    // Charging 50 A absorbs 306·50 + 0.36·2500 = 15300 + 900 = 16200 W.
+    assert!((b.terminal_power(-50.0) + 16_200.0).abs() < 1e-9);
+}
+
+#[test]
+fn battery_one_percent_soc_is_936_coulombs() {
+    // 26 Ah = 93 600 C; 1 % = 936 C = 936 A·s.
+    let mut b = Battery::new(BatteryParams::default(), 0.6).unwrap();
+    b.step(93.6, 10.0).unwrap();
+    assert!((b.soc() - 0.59).abs() < 1e-12);
+}
+
+#[test]
+fn gear_speeds_at_50_kmh() {
+    // v = 13.89 m/s → ω_wh = 49.25 rad/s.
+    // Gear 3 (overall 3.94): ω_ICE = 194.1 rad/s ≈ 1853 rpm;
+    // ω_EM = 388.1 rad/s.
+    let d = Drivetrain::new(DrivetrainParams::default()).unwrap();
+    let w_wh = 13.89 / 0.282;
+    assert!((d.ice_speed(w_wh, 3) - 194.05).abs() < 0.5);
+    assert!((d.em_speed(w_wh, 3) - 388.1).abs() < 1.0);
+}
+
+#[test]
+fn ev_launch_energy_balance() {
+    // A gentle launch fully electric: the battery power must equal the
+    // machine's electrical power plus the auxiliary load exactly.
+    let hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let d = hev.demand(3.0, 0.3, 0.0);
+    let o = hev
+        .peek(
+            &d,
+            &ControlInput {
+                battery_current_a: 30.0,
+                gear: 0,
+                p_aux_w: 600.0,
+            },
+            1.0,
+        )
+        .unwrap();
+    let p_em = hev
+        .motor()
+        .electrical_power(o.em_torque_nm, o.em_speed_rad_s);
+    assert!(
+        (o.battery_power_w - (p_em + 600.0)).abs() < 1e-6,
+        "bus imbalance: {} vs {}",
+        o.battery_power_w,
+        p_em + 600.0
+    );
+    // And the machine's wheel torque matches the demand exactly.
+    let t_wh = hev.drivetrain().wheel_torque(0.0, o.em_torque_nm, 0);
+    assert!((t_wh - d.wheel_torque_nm).abs() < 1e-6);
+}
+
+#[test]
+fn engine_on_torque_balance_closed_form() {
+    // 72 km/h cruise, 4th gear, i = 0: the machine generates exactly the
+    // auxiliary load; the engine covers demand + generation drag.
+    let hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let d = hev.demand(20.0, 0.0, 0.0);
+    let o = hev
+        .peek(
+            &d,
+            &ControlInput {
+                battery_current_a: 0.0,
+                gear: 3,
+                p_aux_w: 600.0,
+            },
+            1.0,
+        )
+        .unwrap();
+    // P_batt = 0 ⟹ machine input = −600 W (it generates the aux load).
+    assert!((o.battery_power_w).abs() < 1e-9);
+    let p_em = hev
+        .motor()
+        .electrical_power(o.em_torque_nm, o.em_speed_rad_s);
+    assert!((p_em + 600.0).abs() < 1e-6, "p_em = {p_em}");
+    // Torque balance through Eq. 8.
+    let back = hev
+        .drivetrain()
+        .wheel_torque(o.ice_torque_nm, o.em_torque_nm, 3);
+    assert!((back - d.wheel_torque_nm).abs() < 1e-6);
+}
+
+#[test]
+fn fuel_economy_magnitudes_on_steady_cruise() {
+    // 90 km/h steady cruise, engine-only-ish: demand ≈ 8.6 kW, engine
+    // η ≈ 0.30 ⟹ ≈ 0.7 g/s ⟹ ≈ 35-55 mpg. Any sane split lands there.
+    let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let v = 25.0;
+    let d = hev.demand(v, 0.0, 0.0);
+    let o = hev
+        .step(
+            &d,
+            &ControlInput {
+                battery_current_a: 0.0,
+                gear: 4,
+                p_aux_w: 600.0,
+            },
+            1.0,
+        )
+        .unwrap();
+    let g_per_mile = o.fuel_g * 1_609.344 / v;
+    let mpg = 2_835.0 / g_per_mile;
+    assert!((30.0..65.0).contains(&mpg), "steady-cruise mpg = {mpg}");
+}

@@ -1,0 +1,150 @@
+//! Inverse-error-weighted ensemble of predictors.
+
+use crate::traits::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// Combines two predictors, weighting each by the inverse of its
+/// exponentially averaged squared one-step error.
+///
+/// The better predictor on the recent signal automatically dominates; on
+/// regime changes the weights re-adapt. (A two-member ensemble keeps the
+/// type simple and static — nest `Ensemble<Ensemble<…>, …>` for more
+/// members.)
+///
+/// # Examples
+///
+/// ```
+/// use hev_predict::{Ensemble, Ewma, MovingAverage, Predictor};
+///
+/// let mut p = Ensemble::new(Ewma::new(0.3), MovingAverage::new(10), 0.05);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     p.observe(x);
+/// }
+/// assert!(p.predict().is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ensemble<A, B> {
+    a: A,
+    b: B,
+    /// Exponential forgetting rate of the error averages.
+    error_rate: f64,
+    err_a: f64,
+    err_b: f64,
+}
+
+impl<A: Predictor, B: Predictor> Ensemble<A, B> {
+    /// Combines predictors `a` and `b`; `error_rate` controls how fast
+    /// the error averages forget (e.g. 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error_rate` is outside `(0, 1]`.
+    pub fn new(a: A, b: B, error_rate: f64) -> Self {
+        assert!(
+            error_rate > 0.0 && error_rate <= 1.0,
+            "error_rate must be in (0, 1]"
+        );
+        Self {
+            a,
+            b,
+            error_rate,
+            err_a: 1.0,
+            err_b: 1.0,
+        }
+    }
+
+    /// The current weight of the first member, in `[0, 1]`.
+    pub fn weight_a(&self) -> f64 {
+        let wa = 1.0 / self.err_a.max(1e-12);
+        let wb = 1.0 / self.err_b.max(1e-12);
+        wa / (wa + wb)
+    }
+}
+
+impl<A: Predictor, B: Predictor> Predictor for Ensemble<A, B> {
+    fn observe(&mut self, measurement: f64) {
+        // Score both members on the measurement they were about to
+        // predict, then let them observe it.
+        let ea = self.a.predict() - measurement;
+        let eb = self.b.predict() - measurement;
+        let r = self.error_rate;
+        self.err_a = (1.0 - r) * self.err_a + r * ea * ea;
+        self.err_b = (1.0 - r) * self.err_b + r * eb * eb;
+        self.a.observe(measurement);
+        self.b.observe(measurement);
+    }
+
+    fn predict(&self) -> f64 {
+        let w = self.weight_a();
+        w * self.a.predict() + (1.0 - w) * self.b.predict()
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+        self.err_a = 1.0;
+        self.err_b = 1.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewma::Ewma;
+    use crate::moving_average::MovingAverage;
+    use crate::traits::mean_squared_error;
+
+    #[test]
+    fn weights_start_even() {
+        let e = Ensemble::new(Ewma::new(0.3), MovingAverage::new(5), 0.1);
+        assert!((e.weight_a() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_member_gains_weight() {
+        // Persistence (EWMA α=1) is perfect on a constant signal; a
+        // 2-sample moving average is too — use a drifting signal where
+        // persistence wins.
+        let mut e = Ensemble::new(Ewma::new(1.0), MovingAverage::new(20), 0.2);
+        for i in 0..100 {
+            e.observe(i as f64);
+        }
+        assert!(e.weight_a() > 0.8, "weight {}", e.weight_a());
+    }
+
+    #[test]
+    fn ensemble_not_worse_than_worst_member() {
+        let signal: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin() * 5.0).collect();
+        let mut ewma = Ewma::new(0.5);
+        let mut mavg = MovingAverage::new(15);
+        let mut ens = Ensemble::new(Ewma::new(0.5), MovingAverage::new(15), 0.1);
+        let worst =
+            mean_squared_error(&mut ewma, &signal).max(mean_squared_error(&mut mavg, &signal));
+        let ens_mse = mean_squared_error(&mut ens, &signal);
+        assert!(
+            ens_mse <= worst * 1.05,
+            "ensemble {ens_mse} vs worst {worst}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_even_weights() {
+        let mut e = Ensemble::new(Ewma::new(1.0), MovingAverage::new(20), 0.2);
+        for i in 0..50 {
+            e.observe(i as f64);
+        }
+        e.reset();
+        assert!((e.weight_a() - 0.5).abs() < 1e-12);
+        assert_eq!(e.predict(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "error_rate must be in (0, 1]")]
+    fn validates_error_rate() {
+        Ensemble::new(Ewma::new(0.5), Ewma::new(0.2), 0.0);
+    }
+}

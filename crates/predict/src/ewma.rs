@@ -1,0 +1,143 @@
+//! The paper's exponential-weighting predictor (§4.2, Eq. 12).
+
+use crate::traits::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// Exponentially weighted moving-average predictor:
+/// `pre_i ← (1 − α)·pre_{i−1} + α·meas_{i−1}` (Eq. 12).
+///
+/// The paper selects this predictor because it balances prediction
+/// quality against the state-space growth it causes in the RL algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use hev_predict::{Ewma, Predictor};
+///
+/// let mut p = Ewma::new(0.3);
+/// p.observe(10.0);
+/// p.observe(10.0);
+/// assert!(p.predict() > 0.0 && p.predict() <= 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    prediction: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// Creates the predictor with learning rate `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            prediction: 0.0,
+            primed: false,
+        }
+    }
+
+    /// The learning rate `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, measurement: f64) {
+        if self.primed {
+            self.prediction = (1.0 - self.alpha) * self.prediction + self.alpha * measurement;
+        } else {
+            // First observation primes the filter so early predictions do
+            // not drag toward an arbitrary zero initialization.
+            self.prediction = measurement;
+            self.primed = true;
+        }
+    }
+
+    fn predict(&self) -> f64 {
+        self.prediction
+    }
+
+    fn reset(&mut self) {
+        self.prediction = 0.0;
+        self.primed = false;
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_primes() {
+        let mut p = Ewma::new(0.2);
+        p.observe(42.0);
+        assert_eq!(p.predict(), 42.0);
+    }
+
+    #[test]
+    fn recurrence_matches_eq12() {
+        let mut p = Ewma::new(0.25);
+        p.observe(0.0); // prime
+        p.observe(8.0);
+        assert!((p.predict() - 2.0).abs() < 1e-12); // 0.75·0 + 0.25·8
+        p.observe(8.0);
+        assert!((p.predict() - 3.5).abs() < 1e-12); // 0.75·2 + 0.25·8
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut p = Ewma::new(0.3);
+        for _ in 0..200 {
+            p.observe(7.0);
+        }
+        assert!((p.predict() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_is_persistence() {
+        let mut p = Ewma::new(1.0);
+        p.observe(1.0);
+        p.observe(9.0);
+        assert_eq!(p.predict(), 9.0);
+    }
+
+    #[test]
+    fn higher_alpha_tracks_faster() {
+        let mut slow = Ewma::new(0.1);
+        let mut fast = Ewma::new(0.6);
+        for p in [&mut slow, &mut fast] {
+            p.observe(0.0);
+        }
+        for _ in 0..3 {
+            slow.observe(10.0);
+            fast.observe(10.0);
+        }
+        assert!(fast.predict() > slow.predict());
+    }
+
+    #[test]
+    fn reset_clears_priming() {
+        let mut p = Ewma::new(0.5);
+        p.observe(5.0);
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+        p.observe(3.0);
+        assert_eq!(p.predict(), 3.0); // re-primed
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn validates_alpha() {
+        Ewma::new(0.0);
+    }
+}

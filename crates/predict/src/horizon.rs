@@ -1,0 +1,128 @@
+//! Multi-step-horizon prediction on top of any one-step predictor.
+
+use crate::traits::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// Predicts the *mean signal level over the next `horizon` steps* by
+/// iterating a one-step predictor on its own outputs.
+///
+/// For an EWMA base this collapses to the EWMA value itself (a fixed
+/// point), but for trend-following bases (Markov chain, MLP) the rollout
+/// genuinely extrapolates. The RL state benefits from a horizon matched
+/// to the controller's effective discount horizon `1/(1−γ)`.
+///
+/// # Examples
+///
+/// ```
+/// use hev_predict::{Horizon, MarkovChain, Predictor};
+///
+/// let mut p = Horizon::new(MarkovChain::new(0.0, 10.0, 10), 5);
+/// for x in [2.0, 8.0, 2.0, 8.0, 2.0] {
+///     p.observe(x);
+/// }
+/// assert!(p.predict().is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Horizon<P> {
+    base: P,
+    horizon: usize,
+}
+
+impl<P: Predictor + Clone> Horizon<P> {
+    /// Wraps a one-step predictor with an `horizon`-step rollout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(base: P, horizon: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        Self { base, horizon }
+    }
+
+    /// The rollout length.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The wrapped one-step predictor.
+    pub fn base(&self) -> &P {
+        &self.base
+    }
+}
+
+impl<P: Predictor + Clone> Predictor for Horizon<P> {
+    fn observe(&mut self, measurement: f64) {
+        self.base.observe(measurement);
+    }
+
+    fn predict(&self) -> f64 {
+        // Roll the base predictor forward on its own outputs.
+        let mut rollout = self.base.clone();
+        let mut sum = 0.0;
+        for _ in 0..self.horizon {
+            let step = rollout.predict();
+            sum += step;
+            rollout.observe(step);
+        }
+        sum / self.horizon as f64
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "horizon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ewma::Ewma;
+    use crate::markov::MarkovChain;
+
+    #[test]
+    fn ewma_rollout_is_fixed_point() {
+        let mut base = Ewma::new(0.4);
+        base.observe(3.0);
+        base.observe(9.0);
+        let one_step = base.predict();
+        let h = Horizon::new(base, 8);
+        assert!((h.predict() - one_step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_rollout_averages_the_attractor() {
+        let mut chain = MarkovChain::new(0.0, 10.0, 10);
+        // Deterministic alternation between ~2 and ~8.
+        for _ in 0..50 {
+            chain.observe(2.0);
+            chain.observe(8.0);
+        }
+        let h = Horizon::new(chain, 2);
+        // Over an even horizon the mean of the alternation ≈ 5.
+        assert!((h.predict() - 5.0).abs() < 0.8, "got {}", h.predict());
+    }
+
+    #[test]
+    fn observe_feeds_base() {
+        let mut h = Horizon::new(Ewma::new(1.0), 3);
+        h.observe(7.0);
+        assert_eq!(h.predict(), 7.0);
+    }
+
+    #[test]
+    fn reset_propagates() {
+        let mut h = Horizon::new(Ewma::new(0.5), 3);
+        h.observe(7.0);
+        h.reset();
+        assert_eq!(h.predict(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        Horizon::new(Ewma::new(0.5), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Windowed moving-average predictor.
+
+use crate::traits::Predictor;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Predicts the next value as the mean of the last `window` observations.
+///
+/// A simple alternative to [`Ewma`](crate::Ewma) with a hard memory
+/// horizon instead of an exponential one.
+///
+/// # Examples
+///
+/// ```
+/// use hev_predict::{MovingAverage, Predictor};
+///
+/// let mut p = MovingAverage::new(3);
+/// for x in [3.0, 6.0, 9.0] {
+///     p.observe(x);
+/// }
+/// assert!((p.predict() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a predictor averaging over the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn observe(&mut self, measurement: f64) {
+        self.buf.push_back(measurement);
+        self.sum += measurement;
+        if self.buf.len() > self.window {
+            self.sum -= self.buf.pop_front().expect("buffer is non-empty");
+        }
+    }
+
+    fn predict(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_predicts_zero() {
+        assert_eq!(MovingAverage::new(4).predict(), 0.0);
+    }
+
+    #[test]
+    fn partial_window_averages_what_it_has() {
+        let mut p = MovingAverage::new(10);
+        p.observe(2.0);
+        p.observe(4.0);
+        assert!((p.predict() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_window_slides() {
+        let mut p = MovingAverage::new(2);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            p.observe(x);
+        }
+        assert!((p.predict() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = MovingAverage::new(2);
+        p.observe(100.0);
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+    }
+
+    #[test]
+    fn long_run_sum_stays_accurate() {
+        let mut p = MovingAverage::new(5);
+        for i in 0..10_000 {
+            p.observe((i % 7) as f64);
+        }
+        let tail: f64 = (9_995..10_000).map(|i| (i % 7) as f64).sum::<f64>() / 5.0;
+        assert!((p.predict() - tail).abs() < 1e-9);
+    }
+}

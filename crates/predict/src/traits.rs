@@ -1,0 +1,81 @@
+//! The predictor abstraction.
+
+/// An online one-step-ahead predictor of a scalar driving-profile signal
+/// (the paper predicts the propulsion power demand, §4.2).
+///
+/// Implementations observe one measurement per time step and expose a
+/// prediction of the next value. They must be cheap: the prediction runs
+/// inside the controller's per-step loop.
+pub trait Predictor {
+    /// Feeds the measurement of the just-elapsed step.
+    fn observe(&mut self, measurement: f64);
+
+    /// The current prediction of the next measurement.
+    fn predict(&self) -> f64;
+
+    /// Resets all internal state (between episodes or drivers).
+    fn reset(&mut self);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean squared one-step prediction error of a predictor over a signal
+/// (a convenience for evaluation and tests).
+pub fn mean_squared_error<P: Predictor>(predictor: &mut P, signal: &[f64]) -> f64 {
+    assert!(signal.len() >= 2, "need at least two samples");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    predictor.reset();
+    for w in signal.windows(2) {
+        predictor.observe(w[0]);
+        let e = predictor.predict() - w[1];
+        sum += e * e;
+        n += 1;
+    }
+    sum / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A predictor that always answers with the last observation
+    /// (persistence forecast) — used to test the helper.
+    struct Persistence(f64);
+
+    impl Predictor for Persistence {
+        fn observe(&mut self, m: f64) {
+            self.0 = m;
+        }
+        fn predict(&self) -> f64 {
+            self.0
+        }
+        fn reset(&mut self) {
+            self.0 = 0.0;
+        }
+        fn name(&self) -> &'static str {
+            "persistence"
+        }
+    }
+
+    #[test]
+    fn mse_zero_on_constant_signal() {
+        let mut p = Persistence(0.0);
+        assert_eq!(mean_squared_error(&mut p, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_positive_on_varying_signal() {
+        let mut p = Persistence(0.0);
+        let mse = mean_squared_error(&mut p, &[0.0, 1.0, 0.0, 1.0]);
+        assert!((mse - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn mse_needs_two_samples() {
+        let mut p = Persistence(0.0);
+        mean_squared_error(&mut p, &[1.0]);
+    }
+}

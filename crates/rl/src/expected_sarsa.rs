@@ -1,0 +1,177 @@
+//! Expected SARSA: on-policy like SARSA but bootstrapping on the
+//! *expectation* over the behaviour policy, which removes the sampling
+//! variance of the next action.
+
+use crate::policy::ExplorationPolicy;
+use crate::q_learning::OneStepConfig;
+use crate::qtable::QTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tabular Expected SARSA under an ε-greedy behaviour policy.
+///
+/// The update target is
+/// `r + γ·[(1 − ε)·max_a Q(s', a) + ε·mean_a Q(s', a)]` over the eligible
+/// actions of the next state.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::{ExpectedSarsa, OneStepConfig};
+///
+/// let mut learner = ExpectedSarsa::new(4, 2, OneStepConfig::default(), 0.1);
+/// learner.update(0, 1, 1.0, 2, None);
+/// assert!(learner.q().get(0, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpectedSarsa {
+    q: QTable,
+    config: OneStepConfig,
+    epsilon: f64,
+}
+
+impl ExpectedSarsa {
+    /// Creates a learner assuming an ε-greedy behaviour with the given ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions, invalid hyper-parameters, or
+    /// `epsilon ∉ [0, 1]`.
+    pub fn new(n_states: usize, n_actions: usize, config: OneStepConfig, epsilon: f64) -> Self {
+        config.validate();
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        Self {
+            q: QTable::new(n_states, n_actions, config.q_init),
+            config,
+            epsilon,
+        }
+    }
+
+    /// The learner's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Updates the assumed behaviour ε (keep in sync with the actual
+    /// exploration policy as it decays).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        self.epsilon = epsilon;
+    }
+
+    /// Selects an action under the exploration policy.
+    pub fn select<P: ExplorationPolicy, R: Rng + ?Sized>(
+        &self,
+        s: usize,
+        mask: &[bool],
+        policy: &P,
+        rng: &mut R,
+    ) -> usize {
+        policy.select(self.q.row(s), mask, rng)
+    }
+
+    /// Expected value of the next state under the ε-greedy behaviour.
+    fn expected_value(&self, s: usize, mask: Option<&[bool]>) -> f64 {
+        let row = self.q.row(s);
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (a, &v) in row.iter().enumerate() {
+            if let Some(m) = mask {
+                if !m[a] {
+                    continue;
+                }
+            }
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        assert!(n > 0, "at least one action must be eligible");
+        (1.0 - self.epsilon) * max + self.epsilon * sum / n as f64
+    }
+
+    /// Expected-SARSA update for transition `(s, a) → (r, s')`; returns
+    /// the TD error.
+    pub fn update(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+        next_mask: Option<&[bool]>,
+    ) -> f64 {
+        let target = reward + self.config.gamma * self.expected_value(s_next, next_mask);
+        let delta = target - self.q.get(s, a);
+        self.q.add(s, a, self.config.alpha * delta);
+        self.q.visit(s, a);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_zero_matches_q_learning_target() {
+        let cfg = OneStepConfig {
+            alpha: 1.0,
+            gamma: 0.5,
+            q_init: 0.0,
+        };
+        let mut es = ExpectedSarsa::new(2, 2, cfg, 0.0);
+        es.q.set(1, 0, 10.0);
+        es.q.set(1, 1, 2.0);
+        es.update(0, 0, 0.0, 1, None);
+        assert!((es.q().get(0, 0) - 5.0).abs() < 1e-12); // γ·max = 5
+    }
+
+    #[test]
+    fn epsilon_one_bootstraps_on_mean() {
+        let cfg = OneStepConfig {
+            alpha: 1.0,
+            gamma: 0.5,
+            q_init: 0.0,
+        };
+        let mut es = ExpectedSarsa::new(2, 2, cfg, 1.0);
+        es.q.set(1, 0, 10.0);
+        es.q.set(1, 1, 2.0);
+        es.update(0, 0, 0.0, 1, None);
+        assert!((es.q().get(0, 0) - 3.0).abs() < 1e-12); // γ·mean = 3
+    }
+
+    #[test]
+    fn mask_restricts_expectation() {
+        let cfg = OneStepConfig {
+            alpha: 1.0,
+            gamma: 0.5,
+            q_init: 0.0,
+        };
+        let mut es = ExpectedSarsa::new(2, 2, cfg, 0.5);
+        es.q.set(1, 0, 100.0);
+        es.q.set(1, 1, 4.0);
+        // Only action 1 eligible: expectation = 4 regardless of ε.
+        es.update(0, 0, 0.0, 1, Some(&[false, true]));
+        assert!((es.q().get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_fixed_point() {
+        let cfg = OneStepConfig {
+            alpha: 0.5,
+            gamma: 0.9,
+            q_init: 0.0,
+        };
+        let mut es = ExpectedSarsa::new(1, 1, cfg, 0.2);
+        for _ in 0..500 {
+            es.update(0, 0, 1.0, 0, None);
+        }
+        assert!((es.q().get(0, 0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn validates_epsilon() {
+        ExpectedSarsa::new(1, 1, OneStepConfig::default(), 2.0);
+    }
+}

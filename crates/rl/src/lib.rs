@@ -1,0 +1,65 @@
+//! Tabular reinforcement learning for the HEV joint-control problem.
+//!
+//! This crate provides the generic RL machinery the DAC'15 controller is
+//! built on:
+//!
+//! * [`UniformGrid`], [`CustomBins`], [`ProductSpace`] — state/action
+//!   discretization (Eq. 13–15 of the paper);
+//! * [`QTable`] — dense action-value storage with visit counting;
+//! * [`EligibilityTraces`] — the paper's bounded list of the `M` most
+//!   recent state-action pairs (§4.3.4);
+//! * [`TdLambda`] — Algorithm 1, the TD(λ)-learning update;
+//! * [`QLearning`], [`Sarsa`], [`DoubleQ`] — one-step learners for
+//!   baselines and ablations;
+//! * [`Greedy`], [`EpsilonGreedy`], [`DecayingEpsilon`], [`Softmax`] —
+//!   exploration-versus-exploitation policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use hev_rl::{EpsilonGreedy, TdLambda, TdLambdaConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut agent = TdLambda::new(100, 5, TdLambdaConfig::default());
+//! let policy = EpsilonGreedy::new(0.1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mask = [true; 5];
+//! let mut state = 0;
+//! for step in 0..50 {
+//!     let action = agent.select(state, &mask, &policy, &mut rng);
+//!     let (reward, next) = ((action == 2) as u8 as f64, (state + 1) % 100);
+//!     agent.update(state, action, reward, next, Some(&mask));
+//!     state = next;
+//!     let _ = step;
+//! }
+//! agent.end_episode();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discretize;
+pub mod double_q;
+pub mod expected_sarsa;
+pub mod monte_carlo;
+pub mod policy;
+pub mod q_learning;
+pub mod qtable;
+pub mod sarsa;
+pub mod schedule;
+pub mod sparse;
+pub mod td_lambda;
+pub mod traces;
+
+pub use discretize::{CustomBins, ProductSpace, UniformGrid};
+pub use double_q::DoubleQ;
+pub use expected_sarsa::ExpectedSarsa;
+pub use monte_carlo::MonteCarlo;
+pub use policy::{ucb_select, DecayingEpsilon, EpsilonGreedy, ExplorationPolicy, Greedy, Softmax};
+pub use q_learning::{OneStepConfig, QLearning};
+pub use qtable::QTable;
+pub use sarsa::Sarsa;
+pub use schedule::Schedule;
+pub use sparse::SparseQTable;
+pub use td_lambda::{TdLambda, TdLambdaConfig};
+pub use traces::{EligibilityTraces, TraceKind};

@@ -1,0 +1,153 @@
+//! First-visit Monte Carlo control with ε-greedy improvement.
+//!
+//! The episode-based alternative to temporal-difference learning:
+//! no bootstrapping, so no bias — but updates only arrive at episode
+//! boundaries. Used in ablations as the "other end" of the
+//! bias/variance spectrum from TD(0).
+
+use crate::policy::ExplorationPolicy;
+use crate::qtable::QTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// First-visit Monte Carlo control.
+///
+/// Accumulate an episode with [`MonteCarlo::record`], then call
+/// [`MonteCarlo::end_episode`] to back up discounted returns into the
+/// Q-table.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::MonteCarlo;
+///
+/// let mut mc = MonteCarlo::new(4, 2, 0.9);
+/// mc.record(0, 1, 0.0);
+/// mc.record(1, 0, 1.0);
+/// mc.end_episode();
+/// assert!(mc.q().get(0, 1) > 0.0); // discounted return reached (0,1)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarlo {
+    q: QTable,
+    gamma: f64,
+    /// Running mean denominators per pair.
+    counts: Vec<u32>,
+    episode: Vec<(usize, usize, f64)>,
+}
+
+impl MonteCarlo {
+    /// Creates a learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or `gamma ∉ (0, 1)`.
+    pub fn new(n_states: usize, n_actions: usize, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1)");
+        Self {
+            q: QTable::new(n_states, n_actions, 0.0),
+            gamma,
+            counts: vec![0; n_states * n_actions],
+            episode: Vec::new(),
+        }
+    }
+
+    /// The learner's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Selects an action under the exploration policy.
+    pub fn select<P: ExplorationPolicy, R: Rng + ?Sized>(
+        &self,
+        s: usize,
+        mask: &[bool],
+        policy: &P,
+        rng: &mut R,
+    ) -> usize {
+        policy.select(self.q.row(s), mask, rng)
+    }
+
+    /// Appends a transition to the current episode buffer.
+    pub fn record(&mut self, s: usize, a: usize, reward: f64) {
+        self.episode.push((s, a, reward));
+    }
+
+    /// Backs up first-visit discounted returns and clears the buffer.
+    pub fn end_episode(&mut self) {
+        let n_actions = self.q.n_actions();
+        // Discounted return suffix scan.
+        let mut g = 0.0;
+        let mut returns: Vec<f64> = vec![0.0; self.episode.len()];
+        for (i, &(_, _, r)) in self.episode.iter().enumerate().rev() {
+            g = r + self.gamma * g;
+            returns[i] = g;
+        }
+        // First-visit filter.
+        let mut seen = std::collections::HashSet::new();
+        for (i, &(s, a, _)) in self.episode.iter().enumerate() {
+            if !seen.insert((s, a)) {
+                continue;
+            }
+            let idx = s * n_actions + a;
+            self.counts[idx] += 1;
+            let k = self.counts[idx] as f64;
+            let old = self.q.get(s, a);
+            self.q.set(s, a, old + (returns[i] - old) / k);
+            self.q.visit(s, a);
+        }
+        self.episode.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_episode_backup() {
+        let mut mc = MonteCarlo::new(3, 1, 0.5);
+        mc.record(0, 0, 0.0);
+        mc.record(1, 0, 0.0);
+        mc.record(2, 0, 8.0);
+        mc.end_episode();
+        assert_eq!(mc.q().get(2, 0), 8.0);
+        assert_eq!(mc.q().get(1, 0), 4.0);
+        assert_eq!(mc.q().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn first_visit_ignores_revisits_within_episode() {
+        let mut mc = MonteCarlo::new(2, 1, 0.9);
+        mc.record(0, 0, 0.0);
+        mc.record(0, 0, 10.0); // revisit: ignored for the backup of (0,0)
+        mc.end_episode();
+        // Return of the FIRST visit: 0 + 0.9·10 = 9.
+        assert!((mc.q().get(0, 0) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_across_episodes() {
+        let mut mc = MonteCarlo::new(1, 1, 0.9);
+        mc.record(0, 0, 4.0);
+        mc.end_episode();
+        mc.record(0, 0, 8.0);
+        mc.end_episode();
+        assert!((mc.q().get(0, 0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_clears_between_episodes() {
+        let mut mc = MonteCarlo::new(1, 1, 0.9);
+        mc.record(0, 0, 1.0);
+        mc.end_episode();
+        mc.end_episode(); // empty: no change
+        assert!((mc.q().get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1)")]
+    fn validates_gamma() {
+        MonteCarlo::new(1, 1, 1.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Exploration policies (the paper's exploration-versus-exploitation
+//! strategy, §4.3.4).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Selects an action from a Q-value row, restricted to a feasibility mask.
+pub trait ExplorationPolicy {
+    /// Picks an action index. `mask[a]` must be true for `a` to be
+    /// eligible; at least one action must be eligible.
+    fn select<R: Rng + ?Sized>(&self, q_row: &[f64], mask: &[bool], rng: &mut R) -> usize;
+
+    /// Hook called at the end of each training episode (e.g. to decay
+    /// exploration). Default: no-op.
+    fn end_episode(&mut self) {}
+}
+
+fn greedy(q_row: &[f64], mask: &[bool]) -> usize {
+    let mut best: Option<(usize, f64)> = None;
+    for (a, (&v, &ok)) in q_row.iter().zip(mask).enumerate() {
+        if ok && best.is_none_or(|(_, bv)| v > bv) {
+            best = Some((a, v));
+        }
+    }
+    best.expect("at least one action must be eligible").0
+}
+
+fn random_eligible<R: Rng + ?Sized>(mask: &[bool], rng: &mut R) -> usize {
+    let n = mask.iter().filter(|&&m| m).count();
+    assert!(n > 0, "at least one action must be eligible");
+    let mut k = rng.gen_range(0..n);
+    for (a, &ok) in mask.iter().enumerate() {
+        if ok {
+            if k == 0 {
+                return a;
+            }
+            k -= 1;
+        }
+    }
+    unreachable!("counted eligible actions above")
+}
+
+/// Always exploits: picks the highest-valued eligible action.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Greedy;
+
+impl ExplorationPolicy for Greedy {
+    fn select<R: Rng + ?Sized>(&self, q_row: &[f64], mask: &[bool], rng: &mut R) -> usize {
+        let _ = rng;
+        greedy(q_row, mask)
+    }
+}
+
+/// ε-greedy: the best action with probability `1 − ε`, otherwise a
+/// uniformly random eligible action (the paper's §4.3.4 policy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `[0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        Self { epsilon }
+    }
+
+    /// The exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl ExplorationPolicy for EpsilonGreedy {
+    fn select<R: Rng + ?Sized>(&self, q_row: &[f64], mask: &[bool], rng: &mut R) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            random_eligible(mask, rng)
+        } else {
+            greedy(q_row, mask)
+        }
+    }
+}
+
+/// ε-greedy with multiplicative per-episode decay down to a floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayingEpsilon {
+    epsilon: f64,
+    decay: f64,
+    floor: f64,
+}
+
+impl DecayingEpsilon {
+    /// Creates the policy starting at `epsilon0`, multiplying by `decay`
+    /// after each episode, never dropping below `floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is outside `[0, 1]` or `floor > epsilon0`.
+    pub fn new(epsilon0: f64, decay: f64, floor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&epsilon0),
+            "epsilon0 must be in [0, 1]"
+        );
+        assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+        assert!(
+            (0.0..=epsilon0).contains(&floor),
+            "floor must be in [0, epsilon0]"
+        );
+        Self {
+            epsilon: epsilon0,
+            decay,
+            floor,
+        }
+    }
+
+    /// The current exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl ExplorationPolicy for DecayingEpsilon {
+    fn select<R: Rng + ?Sized>(&self, q_row: &[f64], mask: &[bool], rng: &mut R) -> usize {
+        if rng.gen::<f64>() < self.epsilon {
+            random_eligible(mask, rng)
+        } else {
+            greedy(q_row, mask)
+        }
+    }
+
+    fn end_episode(&mut self) {
+        self.epsilon = (self.epsilon * self.decay).max(self.floor);
+    }
+}
+
+/// Boltzmann (softmax) exploration over eligible actions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Softmax {
+    temperature: f64,
+}
+
+impl Softmax {
+    /// Creates the policy with the given temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not positive.
+    pub fn new(temperature: f64) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        Self { temperature }
+    }
+
+    /// The temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl ExplorationPolicy for Softmax {
+    fn select<R: Rng + ?Sized>(&self, q_row: &[f64], mask: &[bool], rng: &mut R) -> usize {
+        let max_q = q_row
+            .iter()
+            .zip(mask)
+            .filter(|(_, &ok)| ok)
+            .map(|(&v, _)| v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_q.is_finite(), "at least one action must be eligible");
+        let weights: Vec<f64> = q_row
+            .iter()
+            .zip(mask)
+            .map(|(&v, &ok)| {
+                if ok {
+                    ((v - max_q) / self.temperature).exp()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (a, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 && w > 0.0 {
+                return a;
+            }
+        }
+        // Floating-point tail: return the last eligible action.
+        mask.iter()
+            .rposition(|&ok| ok)
+            .expect("eligible action exists")
+    }
+}
+
+/// Upper-confidence-bound action scoring over a Q row with visit counts.
+///
+/// Not an [`ExplorationPolicy`] (it needs visit counts, which the trait's
+/// Q-row interface does not carry); use it directly with a
+/// [`QTable`](crate::QTable):
+///
+/// ```
+/// use hev_rl::{ucb_select, QTable};
+///
+/// let mut q = QTable::new(1, 3, 0.0);
+/// q.visit(0, 0);
+/// // Unvisited actions get infinite bonus: 1 and 2 are preferred.
+/// let a = ucb_select(&q, 0, None, 2.0);
+/// assert_ne!(a, 0);
+/// ```
+pub fn ucb_select(q: &crate::QTable, s: usize, mask: Option<&[bool]>, exploration: f64) -> usize {
+    assert!(
+        exploration >= 0.0,
+        "exploration constant must be non-negative"
+    );
+    let total: u32 = (0..q.n_actions()).map(|a| q.visit_count(s, a)).sum();
+    let ln_total = f64::from(total.max(1)).ln();
+    let mut best: Option<(usize, f64)> = None;
+    for a in 0..q.n_actions() {
+        if let Some(m) = mask {
+            if !m[a] {
+                continue;
+            }
+        }
+        let n = q.visit_count(s, a);
+        let score = if n == 0 {
+            f64::INFINITY
+        } else {
+            q.get(s, a) + exploration * (ln_total / f64::from(n)).sqrt()
+        };
+        if best.is_none_or(|(_, bv)| score > bv) {
+            best = Some((a, score));
+        }
+    }
+    best.expect("at least one action must be eligible").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn greedy_picks_best_eligible() {
+        let q = [1.0, 5.0, 3.0];
+        let mut r = rng();
+        assert_eq!(Greedy.select(&q, &[true, true, true], &mut r), 1);
+        assert_eq!(Greedy.select(&q, &[true, false, true], &mut r), 2);
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let p = EpsilonGreedy::new(0.0);
+        let q = [0.0, 2.0, 1.0];
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(p.select(&q, &[true, true, true], &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn epsilon_one_explores_all_eligible() {
+        let p = EpsilonGreedy::new(1.0);
+        let q = [0.0, 2.0, 1.0];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[p.select(&q, &[true, true, true], &mut r)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn exploration_never_selects_masked_actions() {
+        let p = EpsilonGreedy::new(1.0);
+        let q = [0.0, 2.0, 1.0, 4.0];
+        let mask = [false, true, false, true];
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = p.select(&q, &mask, &mut r);
+            assert!(mask[a]);
+        }
+    }
+
+    #[test]
+    fn decaying_epsilon_decays_to_floor() {
+        let mut p = DecayingEpsilon::new(1.0, 0.5, 0.1);
+        for _ in 0..10 {
+            p.end_episode();
+        }
+        assert!((p.epsilon() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_prefers_high_values() {
+        let p = Softmax::new(0.1);
+        let q = [0.0, 1.0];
+        let mut r = rng();
+        let picks_1 = (0..500)
+            .filter(|_| p.select(&q, &[true, true], &mut r) == 1)
+            .count();
+        assert!(picks_1 > 450, "picked best only {picks_1}/500");
+    }
+
+    #[test]
+    fn softmax_respects_mask() {
+        let p = Softmax::new(1.0);
+        let q = [10.0, 0.0];
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(p.select(&q, &[false, true], &mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn epsilon_validated() {
+        EpsilonGreedy::new(1.5);
+    }
+
+    #[test]
+    fn ucb_prefers_unvisited_then_balances() {
+        let mut q = crate::QTable::new(1, 3, 0.0);
+        q.set(0, 0, 10.0);
+        for _ in 0..50 {
+            q.visit(0, 0);
+        }
+        // Unvisited actions dominate any value.
+        let a = ucb_select(&q, 0, None, 1.0);
+        assert!(a == 1 || a == 2);
+        q.visit(0, 1);
+        q.visit(0, 2);
+        // Now the high-value well-explored arm wins at low exploration…
+        assert_eq!(ucb_select(&q, 0, None, 0.1), 0);
+        // …but a large exploration constant prefers the rare arms.
+        assert_ne!(ucb_select(&q, 0, None, 50.0), 0);
+    }
+
+    #[test]
+    fn ucb_respects_mask() {
+        let q = crate::QTable::new(1, 3, 0.0);
+        assert_eq!(ucb_select(&q, 0, Some(&[false, true, false]), 1.0), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! One-step Q-learning (Watkins), the λ = 0 special case kept as an
+//! independent, simpler learner for baselines and ablations.
+
+use crate::policy::ExplorationPolicy;
+use crate::qtable::QTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by the one-step learners.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OneStepConfig {
+    /// Learning rate `α`.
+    pub alpha: f64,
+    /// Discount rate `γ`.
+    pub gamma: f64,
+    /// Initial Q value.
+    pub q_init: f64,
+}
+
+impl OneStepConfig {
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.alpha > 0.0 && self.alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
+        assert!(
+            self.gamma > 0.0 && self.gamma < 1.0,
+            "gamma must be in (0, 1)"
+        );
+    }
+}
+
+impl Default for OneStepConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.1,
+            gamma: 0.96,
+            q_init: 0.0,
+        }
+    }
+}
+
+/// Tabular one-step Q-learning.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::{OneStepConfig, QLearning};
+///
+/// let mut learner = QLearning::new(4, 2, OneStepConfig::default());
+/// learner.update(0, 1, 1.0, 2, None);
+/// assert!(learner.q().get(0, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QLearning {
+    q: QTable,
+    config: OneStepConfig,
+}
+
+impl QLearning {
+    /// Creates a learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or invalid hyper-parameters.
+    pub fn new(n_states: usize, n_actions: usize, config: OneStepConfig) -> Self {
+        config.validate();
+        Self {
+            q: QTable::new(n_states, n_actions, config.q_init),
+            config,
+        }
+    }
+
+    /// The learner's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Selects an action under the exploration policy.
+    pub fn select<P: ExplorationPolicy, R: Rng + ?Sized>(
+        &self,
+        s: usize,
+        mask: &[bool],
+        policy: &P,
+        rng: &mut R,
+    ) -> usize {
+        policy.select(self.q.row(s), mask, rng)
+    }
+
+    /// Off-policy update toward `r + γ·max_a' Q(s', a')`; returns the TD
+    /// error.
+    pub fn update(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+        next_mask: Option<&[bool]>,
+    ) -> f64 {
+        let target = reward + self.config.gamma * self.q.max(s_next, next_mask);
+        let delta = target - self.q.get(s, a);
+        self.q.add(s, a, self.config.alpha * delta);
+        self.q.visit(s, a);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut l = QLearning::new(
+            2,
+            2,
+            OneStepConfig {
+                alpha: 0.5,
+                ..Default::default()
+            },
+        );
+        l.update(0, 0, 10.0, 1, None);
+        assert!((l.q().get(0, 0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_fixed_point() {
+        let mut l = QLearning::new(
+            1,
+            1,
+            OneStepConfig {
+                alpha: 0.5,
+                gamma: 0.9,
+                q_init: 0.0,
+            },
+        );
+        // Self-loop with constant reward 1: Q* = 1 / (1 − γ) = 10.
+        for _ in 0..500 {
+            l.update(0, 0, 1.0, 0, None);
+        }
+        assert!((l.q().get(0, 0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_respects_mask() {
+        let mut l = QLearning::new(
+            2,
+            2,
+            OneStepConfig {
+                alpha: 1.0,
+                gamma: 0.5,
+                q_init: 0.0,
+            },
+        );
+        l.q.set(1, 0, 100.0);
+        l.update(0, 0, 0.0, 1, Some(&[false, true]));
+        assert_eq!(l.q().get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn validates_alpha() {
+        QLearning::new(
+            1,
+            1,
+            OneStepConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

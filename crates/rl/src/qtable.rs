@@ -1,0 +1,240 @@
+//! Dense tabular action-value storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `Q(s, a)` table with visit counting.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::QTable;
+///
+/// let mut q = QTable::new(10, 4, 0.0);
+/// q.set(3, 2, 1.5);
+/// assert_eq!(q.get(3, 2), 1.5);
+/// assert_eq!(q.argmax(3, None), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    n_states: usize,
+    n_actions: usize,
+    q: Vec<f64>,
+    visits: Vec<u32>,
+}
+
+impl QTable {
+    /// Creates a table with every entry initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_states: usize, n_actions: usize, init: f64) -> Self {
+        assert!(
+            n_states > 0 && n_actions > 0,
+            "table dimensions must be positive"
+        );
+        Self {
+            n_states,
+            n_actions,
+            q: vec![init; n_states * n_actions],
+            visits: vec![0; n_states * n_actions],
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    #[inline]
+    fn idx(&self, s: usize, a: usize) -> usize {
+        debug_assert!(s < self.n_states && a < self.n_actions);
+        s * self.n_actions + a
+    }
+
+    /// The value `Q(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the indices are out of range.
+    #[inline]
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        self.q[self.idx(s, a)]
+    }
+
+    /// Sets `Q(s, a)`.
+    #[inline]
+    pub fn set(&mut self, s: usize, a: usize, value: f64) {
+        let i = self.idx(s, a);
+        self.q[i] = value;
+    }
+
+    /// Adds `delta` to `Q(s, a)`.
+    #[inline]
+    pub fn add(&mut self, s: usize, a: usize, delta: f64) {
+        let i = self.idx(s, a);
+        self.q[i] += delta;
+    }
+
+    /// The action-value row of state `s`.
+    pub fn row(&self, s: usize) -> &[f64] {
+        &self.q[s * self.n_actions..(s + 1) * self.n_actions]
+    }
+
+    /// The greedy action in state `s`, restricted to `mask` (an action is
+    /// eligible where `mask[a]` is true). With no mask all actions are
+    /// eligible. Ties break toward the lowest index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and no action is eligible.
+    pub fn argmax(&self, s: usize, mask: Option<&[bool]>) -> usize {
+        let row = self.row(s);
+        let mut best: Option<(usize, f64)> = None;
+        for (a, &v) in row.iter().enumerate() {
+            if let Some(m) = mask {
+                if !m[a] {
+                    continue;
+                }
+            }
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((a, v));
+            }
+        }
+        best.expect("at least one action must be eligible").0
+    }
+
+    /// The maximum action value in state `s`, restricted to `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and no action is eligible.
+    pub fn max(&self, s: usize, mask: Option<&[bool]>) -> f64 {
+        let a = self.argmax(s, mask);
+        self.get(s, a)
+    }
+
+    /// The greedy action among *visited* eligible actions, or `None` if
+    /// no eligible action has been visited. With pessimistic true values
+    /// (all rewards negative) and zero initialization, unvisited entries
+    /// look spuriously attractive; greedy evaluation uses this to avoid
+    /// them.
+    pub fn argmax_visited(&self, s: usize, mask: Option<&[bool]>) -> Option<usize> {
+        let row = self.row(s);
+        let mut best: Option<(usize, f64)> = None;
+        for (a, &v) in row.iter().enumerate() {
+            if let Some(m) = mask {
+                if !m[a] {
+                    continue;
+                }
+            }
+            if self.visit_count(s, a) == 0 {
+                continue;
+            }
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((a, v));
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Records a visit to `(s, a)`, saturating at `u32::MAX`.
+    pub fn visit(&mut self, s: usize, a: usize) {
+        let i = self.idx(s, a);
+        self.visits[i] = self.visits[i].saturating_add(1);
+    }
+
+    /// How many times `(s, a)` was visited.
+    pub fn visit_count(&self, s: usize, a: usize) -> u32 {
+        self.visits[self.idx(s, a)]
+    }
+
+    /// Number of state-action pairs visited at least once.
+    pub fn coverage(&self) -> usize {
+        self.visits.iter().filter(|&&v| v > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_initializes_all_entries() {
+        let q = QTable::new(3, 2, -1.5);
+        for s in 0..3 {
+            for a in 0..2 {
+                assert_eq!(q.get(s, a), -1.5);
+            }
+        }
+    }
+
+    #[test]
+    fn set_add_get_roundtrip() {
+        let mut q = QTable::new(4, 3, 0.0);
+        q.set(2, 1, 5.0);
+        q.add(2, 1, -2.0);
+        assert_eq!(q.get(2, 1), 3.0);
+        assert_eq!(q.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn argmax_without_mask() {
+        let mut q = QTable::new(1, 4, 0.0);
+        q.set(0, 2, 3.0);
+        q.set(0, 3, 1.0);
+        assert_eq!(q.argmax(0, None), 2);
+        assert_eq!(q.max(0, None), 3.0);
+    }
+
+    #[test]
+    fn argmax_respects_mask() {
+        let mut q = QTable::new(1, 4, 0.0);
+        q.set(0, 2, 3.0);
+        q.set(0, 1, 2.0);
+        let mask = [true, true, false, true];
+        assert_eq!(q.argmax(0, Some(&mask)), 1);
+    }
+
+    #[test]
+    fn argmax_ties_break_low() {
+        let q = QTable::new(1, 4, 7.0);
+        assert_eq!(q.argmax(0, None), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn argmax_panics_on_empty_mask() {
+        let q = QTable::new(1, 2, 0.0);
+        q.argmax(0, Some(&[false, false]));
+    }
+
+    #[test]
+    fn visits_and_coverage() {
+        let mut q = QTable::new(2, 2, 0.0);
+        assert_eq!(q.coverage(), 0);
+        q.visit(0, 1);
+        q.visit(0, 1);
+        q.visit(1, 0);
+        assert_eq!(q.visit_count(0, 1), 2);
+        assert_eq!(q.coverage(), 2);
+    }
+
+    #[test]
+    fn row_slices_correctly() {
+        let mut q = QTable::new(2, 3, 0.0);
+        q.set(1, 0, 9.0);
+        assert_eq!(q.row(1), &[9.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_rejected() {
+        QTable::new(0, 3, 0.0);
+    }
+}

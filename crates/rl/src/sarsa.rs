@@ -1,0 +1,106 @@
+//! On-policy SARSA, for ablation against the off-policy learners.
+
+use crate::policy::ExplorationPolicy;
+use crate::q_learning::OneStepConfig;
+use crate::qtable::QTable;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tabular SARSA: updates toward `r + γ·Q(s', a')` where `a'` is the
+/// action actually taken next.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::{OneStepConfig, Sarsa};
+///
+/// let mut learner = Sarsa::new(4, 2, OneStepConfig::default());
+/// learner.update(0, 1, 1.0, 2, 0);
+/// assert!(learner.q().get(0, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sarsa {
+    q: QTable,
+    config: OneStepConfig,
+}
+
+impl Sarsa {
+    /// Creates a learner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or invalid hyper-parameters.
+    pub fn new(n_states: usize, n_actions: usize, config: OneStepConfig) -> Self {
+        config.validate();
+        Self {
+            q: QTable::new(n_states, n_actions, config.q_init),
+            config,
+        }
+    }
+
+    /// The learner's Q-table.
+    pub fn q(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Selects an action under the exploration policy.
+    pub fn select<P: ExplorationPolicy, R: Rng + ?Sized>(
+        &self,
+        s: usize,
+        mask: &[bool],
+        policy: &P,
+        rng: &mut R,
+    ) -> usize {
+        policy.select(self.q.row(s), mask, rng)
+    }
+
+    /// On-policy update for transition `(s, a) → (r, s', a')`; returns the
+    /// TD error.
+    pub fn update(&mut self, s: usize, a: usize, reward: f64, s_next: usize, a_next: usize) -> f64 {
+        let target = reward + self.config.gamma * self.q.get(s_next, a_next);
+        let delta = target - self.q.get(s, a);
+        self.q.add(s, a, self.config.alpha * delta);
+        self.q.visit(s, a);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_uses_taken_action_not_max() {
+        let mut l = Sarsa::new(
+            2,
+            2,
+            OneStepConfig {
+                alpha: 1.0,
+                gamma: 0.5,
+                q_init: 0.0,
+            },
+        );
+        l.q.set(1, 0, 100.0);
+        l.q.set(1, 1, 2.0);
+        // Next action is 1 (value 2), not the max (100).
+        l.update(0, 0, 0.0, 1, 1);
+        assert!((l.q().get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_fixed_point() {
+        let mut l = Sarsa::new(
+            1,
+            1,
+            OneStepConfig {
+                alpha: 0.5,
+                gamma: 0.9,
+                q_init: 0.0,
+            },
+        );
+        for _ in 0..500 {
+            l.update(0, 0, 1.0, 0, 0);
+        }
+        assert!((l.q().get(0, 0) - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,165 @@
+//! Hyper-parameter schedules (learning rate and exploration over
+//! training time).
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar schedule over episode indices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// A constant value.
+    Constant(f64),
+    /// Exponential decay `v₀·d^k`, floored.
+    Exponential {
+        /// Initial value.
+        initial: f64,
+        /// Per-episode multiplicative decay in `(0, 1]`.
+        decay: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+    /// Harmonic decay `v₀ / (1 + k/τ)`, floored — the classic
+    /// stochastic-approximation schedule.
+    Harmonic {
+        /// Initial value.
+        initial: f64,
+        /// Time constant `τ` in episodes.
+        tau: f64,
+        /// Lower bound.
+        floor: f64,
+    },
+}
+
+impl Schedule {
+    /// The value at episode `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's parameters are invalid.
+    pub fn at(&self, k: usize) -> f64 {
+        match *self {
+            Schedule::Constant(v) => {
+                assert!(v.is_finite(), "constant must be finite");
+                v
+            }
+            Schedule::Exponential {
+                initial,
+                decay,
+                floor,
+            } => {
+                assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+                (initial * decay.powi(k as i32)).max(floor)
+            }
+            Schedule::Harmonic {
+                initial,
+                tau,
+                floor,
+            } => {
+                assert!(tau > 0.0, "tau must be positive");
+                (initial / (1.0 + k as f64 / tau)).max(floor)
+            }
+        }
+    }
+
+    /// The episode index after which the schedule first reaches (or
+    /// passes) its floor; `None` for constants or never-floored
+    /// schedules.
+    pub fn episodes_to_floor(&self) -> Option<usize> {
+        match *self {
+            Schedule::Constant(_) => None,
+            Schedule::Exponential {
+                initial,
+                decay,
+                floor,
+            } => {
+                if floor <= 0.0 || initial <= floor || decay >= 1.0 {
+                    return None;
+                }
+                Some(((floor / initial).ln() / decay.ln()).ceil() as usize)
+            }
+            Schedule::Harmonic {
+                initial,
+                tau,
+                floor,
+            } => {
+                if floor <= 0.0 || initial <= floor {
+                    return None;
+                }
+                Some(((initial / floor - 1.0) * tau).ceil() as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000), 0.1);
+        assert_eq!(s.episodes_to_floor(), None);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::Exponential {
+            initial: 1.0,
+            decay: 0.5,
+            floor: 0.1,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(10), 0.1);
+        let k = s.episodes_to_floor().unwrap();
+        assert!(s.at(k) <= 0.1 + 1e-12);
+        assert!(s.at(k.saturating_sub(1)) > 0.1);
+    }
+
+    #[test]
+    fn harmonic_halves_at_tau() {
+        let s = Schedule::Harmonic {
+            initial: 0.2,
+            tau: 50.0,
+            floor: 0.0,
+        };
+        assert!((s.at(50) - 0.1).abs() < 1e-12);
+        assert!(s.at(0) > s.at(10));
+    }
+
+    #[test]
+    fn harmonic_floor_reached() {
+        let s = Schedule::Harmonic {
+            initial: 1.0,
+            tau: 10.0,
+            floor: 0.25,
+        };
+        let k = s.episodes_to_floor().unwrap();
+        assert_eq!(k, 30);
+        assert_eq!(s.at(40), 0.25);
+    }
+
+    #[test]
+    fn schedules_are_monotone_nonincreasing() {
+        for s in [
+            Schedule::Exponential {
+                initial: 0.5,
+                decay: 0.9,
+                floor: 0.01,
+            },
+            Schedule::Harmonic {
+                initial: 0.5,
+                tau: 20.0,
+                floor: 0.01,
+            },
+        ] {
+            let mut prev = f64::INFINITY;
+            for k in 0..200 {
+                let v = s.at(k);
+                assert!(v <= prev + 1e-15);
+                prev = v;
+            }
+        }
+    }
+}

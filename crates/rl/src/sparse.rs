@@ -1,0 +1,220 @@
+//! Sparse (hash-map-backed) action-value storage for very large state
+//! spaces.
+//!
+//! The dense [`QTable`](crate::QTable) allocates `n_states × n_actions`
+//! entries up front — fine for the paper's ~10⁴-state spaces, wasteful
+//! for finer discretizations (a 10⁶-state space at 15 actions is 120 MB
+//! dense but only as large as its visited set here).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse `Q(s, a)` table: unvisited entries read as the default value
+/// and consume no memory.
+///
+/// # Examples
+///
+/// ```
+/// use hev_rl::SparseQTable;
+///
+/// let mut q = SparseQTable::new(4, -1.0);
+/// assert_eq!(q.get(1_000_000, 2), -1.0); // default, no allocation
+/// q.set(1_000_000, 2, 0.5);
+/// assert_eq!(q.get(1_000_000, 2), 0.5);
+/// assert_eq!(q.stored_entries(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseQTable {
+    n_actions: usize,
+    default: f64,
+    entries: HashMap<(usize, usize), f64>,
+    visits: HashMap<(usize, usize), u32>,
+}
+
+impl SparseQTable {
+    /// Creates a table with the given action count; every entry reads as
+    /// `default` until written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions == 0`.
+    pub fn new(n_actions: usize, default: f64) -> Self {
+        assert!(n_actions > 0, "need at least one action");
+        Self {
+            n_actions,
+            default,
+            entries: HashMap::new(),
+            visits: HashMap::new(),
+        }
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// The default (unwritten) value.
+    pub fn default_value(&self) -> f64 {
+        self.default
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The value `Q(s, a)`.
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        debug_assert!(a < self.n_actions);
+        *self.entries.get(&(s, a)).unwrap_or(&self.default)
+    }
+
+    /// Sets `Q(s, a)`.
+    pub fn set(&mut self, s: usize, a: usize, value: f64) {
+        debug_assert!(a < self.n_actions);
+        self.entries.insert((s, a), value);
+    }
+
+    /// Adds `delta` to `Q(s, a)`.
+    pub fn add(&mut self, s: usize, a: usize, delta: f64) {
+        let v = self.get(s, a);
+        self.set(s, a, v + delta);
+    }
+
+    /// The greedy action in state `s`, restricted to `mask`; ties break
+    /// low. Matches [`QTable::argmax`](crate::QTable::argmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and no action is eligible.
+    pub fn argmax(&self, s: usize, mask: Option<&[bool]>) -> usize {
+        let mut best: Option<(usize, f64)> = None;
+        for a in 0..self.n_actions {
+            if let Some(m) = mask {
+                if !m[a] {
+                    continue;
+                }
+            }
+            let v = self.get(s, a);
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((a, v));
+            }
+        }
+        best.expect("at least one action must be eligible").0
+    }
+
+    /// The maximum action value in state `s`, restricted to `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask is given and no action is eligible.
+    pub fn max(&self, s: usize, mask: Option<&[bool]>) -> f64 {
+        let a = self.argmax(s, mask);
+        self.get(s, a)
+    }
+
+    /// Records a visit to `(s, a)`.
+    pub fn visit(&mut self, s: usize, a: usize) {
+        *self.visits.entry((s, a)).or_insert(0) += 1;
+    }
+
+    /// How many times `(s, a)` was visited.
+    pub fn visit_count(&self, s: usize, a: usize) -> u32 {
+        *self.visits.get(&(s, a)).unwrap_or(&0)
+    }
+
+    /// Number of state-action pairs visited at least once.
+    pub fn coverage(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// The greedy action among visited eligible actions, or `None`.
+    pub fn argmax_visited(&self, s: usize, mask: Option<&[bool]>) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for a in 0..self.n_actions {
+            if let Some(m) = mask {
+                if !m[a] {
+                    continue;
+                }
+            }
+            if self.visit_count(s, a) == 0 {
+                continue;
+            }
+            let v = self.get(s, a);
+            if best.is_none_or(|(_, bv)| v > bv) {
+                best = Some((a, v));
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qtable::QTable;
+
+    #[test]
+    fn default_until_written() {
+        let q = SparseQTable::new(3, -2.5);
+        assert_eq!(q.get(99, 1), -2.5);
+        assert_eq!(q.stored_entries(), 0);
+    }
+
+    #[test]
+    fn set_add_roundtrip() {
+        let mut q = SparseQTable::new(2, 0.0);
+        q.add(7, 1, 3.0);
+        q.add(7, 1, -1.0);
+        assert_eq!(q.get(7, 1), 2.0);
+        assert_eq!(q.stored_entries(), 1);
+    }
+
+    #[test]
+    fn argmax_matches_dense_semantics() {
+        let mut sparse = SparseQTable::new(4, 0.0);
+        let mut dense = QTable::new(10, 4, 0.0);
+        let writes = [
+            (3usize, 2usize, 5.0f64),
+            (3, 1, -1.0),
+            (3, 0, 5.0),
+            (9, 3, 0.1),
+        ];
+        for &(s, a, v) in &writes {
+            sparse.set(s, a, v);
+            dense.set(s, a, v);
+        }
+        for s in [3usize, 9, 5] {
+            assert_eq!(sparse.argmax(s, None), dense.argmax(s, None), "state {s}");
+            assert_eq!(sparse.max(s, None), dense.max(s, None));
+        }
+        let mask = [false, true, true, false];
+        assert_eq!(sparse.argmax(3, Some(&mask)), dense.argmax(3, Some(&mask)));
+    }
+
+    #[test]
+    fn visits_and_visited_argmax() {
+        let mut q = SparseQTable::new(3, 0.0);
+        assert_eq!(q.argmax_visited(0, None), None);
+        q.set(0, 2, -5.0);
+        q.visit(0, 2);
+        assert_eq!(q.argmax_visited(0, None), Some(2));
+        assert_eq!(q.visit_count(0, 2), 1);
+        assert_eq!(q.coverage(), 1);
+    }
+
+    #[test]
+    fn memory_stays_proportional_to_writes() {
+        let mut q = SparseQTable::new(15, 0.0);
+        for s in (0..1_000_000).step_by(100_000) {
+            q.set(s, 0, 1.0);
+        }
+        assert_eq!(q.stored_entries(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn argmax_needs_eligible_action() {
+        SparseQTable::new(2, 0.0).argmax(0, Some(&[false, false]));
+    }
+}

@@ -1,0 +1,69 @@
+//! Predictor playground: compare the one-step prediction error of every
+//! driving-profile predictor on the standard cycles' power-demand-like
+//! signals — the trade-off §4.2 of the paper discusses.
+//!
+//! Run with: `cargo run --release --example predictor_playground`
+
+use hev_joint_control::cycle::StandardCycle;
+use hev_joint_control::model::{HevParams, VehicleBody};
+use hev_joint_control::predict::{
+    mean_squared_error, Ewma, MarkovChain, MlpPredictor, MovingAverage, Predictor,
+};
+
+/// The propulsion power demand trace of a cycle, W.
+fn demand_signal(cycle: &hev_joint_control::cycle::DriveCycle) -> Vec<f64> {
+    let body = VehicleBody::new(HevParams::default_parallel_hev().body)
+        .expect("default parameters are valid");
+    cycle
+        .points()
+        .map(|p| {
+            body.demand(p.speed_mps, p.accel_mps2, p.grade)
+                .power_demand_w
+        })
+        .collect()
+}
+
+fn main() {
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "cycle", "persist", "ewma .3", "mavg 10", "markov", "mlp"
+    );
+    for sc in StandardCycle::all() {
+        let signal = demand_signal(&sc.cycle());
+        let rms = |mse: f64| mse.sqrt() / 1_000.0; // kW
+
+        // Persistence reference: predict the next value as the last one.
+        let mut persistence = Ewma::new(1.0);
+        let p0 = rms(mean_squared_error(&mut persistence, &signal));
+
+        let mut ewma = Ewma::new(0.3);
+        let p1 = rms(mean_squared_error(&mut ewma, &signal));
+
+        let mut mavg = MovingAverage::new(10);
+        let p2 = rms(mean_squared_error(&mut mavg, &signal));
+
+        // The scorer resets each predictor first, so the Markov chain
+        // learns online from scratch within the cycle.
+        let mut markov = MarkovChain::new(-40_000.0, 60_000.0, 16);
+        let p3 = rms(mean_squared_error(&mut markov, &signal));
+
+        let mut mlp = MlpPredictor::new(4, 8, 0.02, 20_000.0, 7);
+        for &x in &signal {
+            mlp.observe(x);
+        }
+        let p4 = rms(mean_squared_error(&mut mlp, &signal));
+
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            sc.name(),
+            p0,
+            p1,
+            p2,
+            p3,
+            p4
+        );
+    }
+    println!("\n(RMS one-step error in kW; lower is better. `mlp` keeps its trained");
+    println!("weights across the scorer's reset, so its number reflects a warm net;");
+    println!("`markov` learns online from scratch within each cycle.)");
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the DAC'15 joint HEV control reproduction.
+//!
+//! Re-exports the whole public API so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`cycle`] — driving cycles ([`drive_cycle`]);
+//! * [`model`] — the parallel HEV model ([`hev_model`]);
+//! * [`rl`] — tabular reinforcement learning ([`hev_rl`]);
+//! * [`predict`] — driving-profile predictors ([`hev_predict`]);
+//! * [`control`] — the joint controller, baselines, and harness
+//!   ([`hev_control`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use hev_joint_control::control::{JointController, JointControllerConfig};
+//! use hev_joint_control::cycle::StandardCycle;
+//! use hev_joint_control::model::{HevParams, ParallelHev};
+//!
+//! let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6)?;
+//! let mut agent = JointController::new(JointControllerConfig::proposed());
+//! let cycle = StandardCycle::Udds.cycle();
+//! agent.train(&mut hev, &cycle, 300);
+//! println!("{:?}", agent.evaluate(&mut hev, &cycle));
+//! # Ok::<(), hev_joint_control::model::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use drive_cycle as cycle;
+pub use hev_control as control;
+pub use hev_model as model;
+pub use hev_predict as predict;
+pub use hev_rl as rl;

@@ -1,0 +1,81 @@
+//! Integration tests of the optional battery thermal model across the
+//! full stack.
+
+use hev_joint_control::control::{simulate, RewardConfig, RuleBasedController};
+use hev_joint_control::cycle::StandardCycle;
+use hev_joint_control::model::{BatteryThermalParams, HevParams, ParallelHev};
+
+fn hev_with_thermal(initial_c: f64) -> ParallelHev {
+    let mut params = HevParams::default_parallel_hev();
+    params.battery.thermal = Some(BatteryThermalParams {
+        initial_c,
+        ..BatteryThermalParams::default()
+    });
+    ParallelHev::new(params, 0.6).expect("valid params")
+}
+
+#[test]
+fn cold_pack_draws_more_current_for_the_same_ev_step() {
+    // The same EV launch from a −20 °C pack (1.9× resistance) must draw
+    // more current — the extra resistive loss has to come from somewhere.
+    use hev_joint_control::model::ControlInput;
+    let warm = hev_with_thermal(25.0);
+    let cold = hev_with_thermal(-20.0);
+    let control = ControlInput {
+        battery_current_a: 30.0,
+        gear: 0,
+        p_aux_w: 600.0,
+    };
+    let d_warm = warm.demand(3.0, 0.3, 0.0);
+    let o_warm = warm.peek(&d_warm, &control, 1.0).unwrap();
+    let d_cold = cold.demand(3.0, 0.3, 0.0);
+    let o_cold = cold.peek(&d_cold, &control, 1.0).unwrap();
+    assert_eq!(o_warm.mode, o_cold.mode);
+    assert!(
+        o_cold.battery_current_a > o_warm.battery_current_a,
+        "cold {} A vs warm {} A",
+        o_cold.battery_current_a,
+        o_warm.battery_current_a
+    );
+}
+
+#[test]
+fn pack_warms_over_a_drive() {
+    let cycle = StandardCycle::Udds.cycle();
+    let mut vehicle = hev_with_thermal(-10.0);
+    let mut rule = RuleBasedController::default();
+    simulate(&mut vehicle, &cycle, &mut rule, &RewardConfig::default());
+    let t = vehicle.battery().temperature_c().expect("thermal enabled");
+    assert!(t > -10.0, "pack stayed at {t} °C");
+    assert!(t < 60.0, "pack implausibly hot: {t} °C");
+}
+
+#[test]
+fn thermal_disabled_matches_baseline_exactly() {
+    // With `thermal: None` the behaviour must be bit-identical to the
+    // calibrated baseline — guarding against accidental coupling.
+    let cycle = StandardCycle::Oscar.cycle();
+    let reward = RewardConfig::default();
+    let mut plain = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+    let mut rule = RuleBasedController::default();
+    let m_plain = simulate(&mut plain, &cycle, &mut rule, &reward);
+
+    let mut params = HevParams::default_parallel_hev();
+    params.battery.thermal = None;
+    let mut explicit = ParallelHev::new(params, 0.6).unwrap();
+    let mut rule = RuleBasedController::default();
+    let m_explicit = simulate(&mut explicit, &cycle, &mut rule, &reward);
+    assert_eq!(m_plain.fuel_g, m_explicit.fuel_g);
+    assert_eq!(m_plain.total_reward, m_explicit.total_reward);
+}
+
+#[test]
+fn reset_soc_also_resets_temperature() {
+    let cycle = StandardCycle::Oscar.cycle();
+    let mut vehicle = hev_with_thermal(-5.0);
+    let mut rule = RuleBasedController::default();
+    simulate(&mut vehicle, &cycle, &mut rule, &RewardConfig::default());
+    assert_ne!(vehicle.battery().temperature_c(), Some(-5.0));
+    vehicle.reset_soc(0.6);
+    assert_eq!(vehicle.battery().temperature_c(), Some(-5.0));
+}
