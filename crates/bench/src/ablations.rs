@@ -2,7 +2,7 @@
 
 use crate::experiments::{corrected_mpg, fresh_hev, train_eval, ExperimentConfig};
 use drive_cycle::{DriveCycle, StandardCycle};
-use hev_control::{EpisodeMetrics, JointController, JointControllerConfig};
+use hev_control::{EpisodeMetrics, JointController, JointControllerConfig, RunSpec, SeedSequence};
 use hev_predict::{Ewma, MarkovChain, MlpPredictor, MovingAverage};
 use serde::{Deserialize, Serialize};
 
@@ -34,59 +34,84 @@ pub fn ablation_cycle() -> DriveCycle {
     StandardCycle::Udds.cycle()
 }
 
+/// Runs one labeled training per setting, fanned across `cfg.jobs`
+/// workers. Every setting trains at the same run-0 child seed (the
+/// sweep varies the hyperparameter, not the seed), so rows are
+/// bit-identical at every worker count.
+fn sweep(
+    group: &str,
+    cycle: &DriveCycle,
+    settings: Vec<(String, JointControllerConfig)>,
+    cfg: &ExperimentConfig,
+) -> Vec<AblationRow> {
+    let seed = SeedSequence::new(cfg.seed).child(0);
+    let tasks = settings
+        .into_iter()
+        .map(|(label, c)| RunSpec {
+            label: format!("{group}/{label}"),
+            seed,
+            payload: (label, c),
+        })
+        .collect();
+    cfg.harness().run(group, tasks, |_, _, (label, c)| {
+        row(label, &train_eval(c, cycle, cfg))
+    })
+}
+
 /// A1 — reduced vs full action space (§4.3.2's trade-off claim).
 pub fn ablation_action_space(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    let cycle = ablation_cycle();
-    let reduced = train_eval(JointControllerConfig::proposed(), &cycle, cfg);
-    let full = train_eval(
-        JointControllerConfig::full_action_space(5, vec![100.0, 600.0, 1_100.0]),
-        &cycle,
+    sweep(
+        "ablation-action-space",
+        &ablation_cycle(),
+        vec![
+            ("reduced [i]".to_string(), JointControllerConfig::proposed()),
+            (
+                "full [i, R(k), p_aux]".to_string(),
+                JointControllerConfig::full_action_space(5, vec![100.0, 600.0, 1_100.0]),
+            ),
+        ],
         cfg,
-    );
-    vec![
-        row("reduced [i]".to_string(), &reduced),
-        row("full [i, R(k), p_aux]".to_string(), &full),
-    ]
+    )
 }
 
 /// A2 — prediction learning-rate α sweep (Eq. 12).
 pub fn ablation_alpha(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    let cycle = ablation_cycle();
-    [0.05, 0.15, 0.30, 0.50, 0.90]
+    let settings = [0.05, 0.15, 0.30, 0.50, 0.90]
         .iter()
         .map(|&alpha| {
             let mut c = JointControllerConfig::proposed();
             c.predictor_alpha = alpha;
-            row(format!("alpha = {alpha:.2}"), &train_eval(c, &cycle, cfg))
+            (format!("alpha = {alpha:.2}"), c)
         })
-        .collect()
+        .collect();
+    sweep("ablation-alpha", &ablation_cycle(), settings, cfg)
 }
 
 /// A3 — TD(λ) trace-decay sweep (§4.3.4's algorithm choice).
 pub fn ablation_lambda(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    let cycle = ablation_cycle();
-    [0.0, 0.3, 0.6, 0.9, 0.95]
+    let settings = [0.0, 0.3, 0.6, 0.9, 0.95]
         .iter()
         .map(|&lambda| {
             let mut c = JointControllerConfig::proposed();
             c.td.lambda = lambda;
-            row(format!("lambda = {lambda:.2}"), &train_eval(c, &cycle, cfg))
+            (format!("lambda = {lambda:.2}"), c)
         })
-        .collect()
+        .collect();
+    sweep("ablation-lambda", &ablation_cycle(), settings, cfg)
 }
 
 /// A4 — auxiliary weight `w` sweep: the fuel/utility Pareto trade-off
 /// (§4.3.3).
 pub fn ablation_weight(cfg: &ExperimentConfig) -> Vec<AblationRow> {
-    let cycle = ablation_cycle();
-    [0.0, 0.1, 0.4, 1.0, 2.5]
+    let settings = [0.0, 0.1, 0.4, 1.0, 2.5]
         .iter()
         .map(|&w| {
             let mut c = JointControllerConfig::proposed();
             c.reward.aux_weight = w;
-            row(format!("w = {w:.1}"), &train_eval(c, &cycle, cfg))
+            (format!("w = {w:.1}"), c)
         })
-        .collect()
+        .collect();
+    sweep("ablation-weight", &ablation_cycle(), settings, cfg)
 }
 
 /// A5 — predictor comparison: EWMA (the paper's choice) vs alternatives
@@ -94,17 +119,16 @@ pub fn ablation_weight(cfg: &ExperimentConfig) -> Vec<AblationRow> {
 /// training protocol as every other experiment.
 pub fn ablation_predictor(cfg: &ExperimentConfig) -> Vec<AblationRow> {
     let cycle = ablation_cycle();
+    let seed = SeedSequence::new(cfg.seed).child(0);
     let base = {
         let mut c = JointControllerConfig::proposed();
         c.initial_soc = cfg.initial_soc;
-        c.seed = cfg.seed;
+        c.seed = seed;
         c
     };
-    let portfolio = crate::experiments::jitter_portfolio(&cycle, cfg.seed, cfg);
+    let portfolio = crate::experiments::jitter_portfolio(&cycle, seed, cfg);
     let rounds = (cfg.episodes / portfolio.len()).max(1);
 
-    let run =
-        |label: &str, agent: &mut dyn FnMut() -> EpisodeMetrics| row(label.to_string(), &agent());
     let train_with = |predictor_label: usize| -> EpisodeMetrics {
         let mut hev = fresh_hev(cfg.initial_soc);
         match predictor_label {
@@ -129,19 +153,31 @@ pub fn ablation_predictor(cfg: &ExperimentConfig) -> Vec<AblationRow> {
             _ => {
                 let mut a = JointController::with_predictor(
                     base.clone(),
-                    MlpPredictor::new(4, 8, 0.02, 20_000.0, cfg.seed),
+                    MlpPredictor::new(4, 8, 0.02, 20_000.0, seed),
                 );
                 a.train_portfolio(&mut hev, &portfolio, rounds);
                 a.evaluate(&mut hev, &cycle)
             }
         }
     };
-    vec![
-        run("ewma (paper)", &mut || train_with(0)),
-        run("moving average (10 s)", &mut || train_with(1)),
-        run("markov chain", &mut || train_with(2)),
-        run("mlp (ann)", &mut || train_with(3)),
-    ]
+    let labels = [
+        "ewma (paper)",
+        "moving average (10 s)",
+        "markov chain",
+        "mlp (ann)",
+    ];
+    let tasks = labels
+        .iter()
+        .enumerate()
+        .map(|(k, label)| RunSpec {
+            label: format!("ablation-predictor/{label}"),
+            seed,
+            payload: k,
+        })
+        .collect();
+    cfg.harness().run("ablation-predictor", tasks, |_, _, k| {
+        row(labels[k].to_string(), &train_with(k))
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--episodes N] [--seed S] [--csv DIR] <target>...
+//! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] <target>...
 //!
 //! targets:
 //!   table1                  HEV key parameters
@@ -20,13 +20,21 @@
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
+use hev_control::harness::{runlog, RunEvent, RunLog};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let mut cfg = ExperimentConfig::default();
+    // The CLI defaults to the machine's available parallelism; results
+    // are bit-identical at every width, so only wall-clock changes.
+    let mut cfg = ExperimentConfig {
+        jobs: 0,
+        ..Default::default()
+    };
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut run_log: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,6 +45,14 @@ fn main() -> ExitCode {
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(s) => cfg.seed = s,
                 None => return usage("--seed needs an integer"),
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.jobs = n,
+                None => return usage("--jobs needs an integer (0 = all cores)"),
+            },
+            "--run-log" => match args.next() {
+                Some(path) => run_log = Some(path),
+                None => return usage("--run-log needs a path (or '-' for stderr)"),
             },
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
@@ -76,7 +92,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = &run_log {
+        let sink = if path == "-" {
+            RunLog::stderr()
+        } else {
+            match RunLog::create(std::path::Path::new(path)) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("error: cannot create run log {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        runlog::install(sink);
+    }
     for t in &targets {
+        let t0 = Instant::now();
+        runlog::emit(&RunEvent::new("target_start", t.as_str()).jobs(cfg.harness().jobs()));
         match t.as_str() {
             "table1" => table1(),
             "fig2" => fig2_target(&cfg, csv_dir.as_deref()),
@@ -105,6 +137,11 @@ fn main() -> ExitCode {
             ),
             other => return usage(&format!("unknown target {other}")),
         }
+        runlog::emit(
+            &RunEvent::new("target_end", t.as_str())
+                .jobs(cfg.harness().jobs())
+                .elapsed(t0),
+        );
     }
     ExitCode::SUCCESS
 }
@@ -114,9 +151,12 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--episodes N] [--seed S] [--csv DIR] <target>...\n\
+        "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
+         <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
-         ablation-alpha ablation-lambda ablation-weight ablation-predictor all"
+         ablation-alpha ablation-lambda ablation-weight ablation-predictor all\n\
+         --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
+         --run-log writes JSON-lines progress/timing to PATH ('-' = stderr)."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -5,8 +5,9 @@
 
 use drive_cycle::StandardCycle;
 use hev_control::{
-    simulate, DpConfig, EcmsController, EpisodeMetrics, JointController, JointControllerConfig,
-    RewardConfig, RuleBasedController,
+    simulate, DpConfig, EcmsController, EpisodeMetrics, Harness, JointController,
+    JointControllerConfig, MetricsSummary, RewardConfig, RuleBasedController, RunSpec,
+    SeedSequence,
 };
 use hev_model::{HevParams, ParallelHev, FUEL_LHV_J_PER_G};
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,12 @@ pub struct ExperimentConfig {
     /// Number of perturbed replicas (plus the nominal cycle) rotated
     /// through during training.
     pub jitter_variants: usize,
+    /// Worker threads for independent training runs (`repro --jobs`).
+    /// Results are bit-identical at every value — each run's RNG stream
+    /// is split from `seed` by task index, never by thread — so this
+    /// only trades wall-clock for cores. `0` means the machine's
+    /// available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -47,7 +54,15 @@ impl Default for ExperimentConfig {
             runs: 3,
             train_jitter: 0.05,
             jitter_variants: 4,
+            jobs: 1,
         }
+    }
+}
+
+impl ExperimentConfig {
+    /// The parallel harness this configuration asks for.
+    pub fn harness(&self) -> Harness {
+        Harness::new(self.jobs)
     }
 }
 
@@ -180,28 +195,32 @@ pub struct Fig2Row {
 /// Figure 2: normalized fuel consumption of the RL framework with and
 /// without driving-profile prediction on OSCAR, UDDS, MODEM.
 pub fn fig2(cfg: &ExperimentConfig) -> Vec<Fig2Row> {
-    [
+    let set = [
         StandardCycle::Oscar,
         StandardCycle::Udds,
         StandardCycle::ModemUrban,
-    ]
-    .iter()
-    .map(|&sc| {
-        let cycle = sc.cycle();
-        let with = train_eval_runs(&JointControllerConfig::proposed(), &cycle, cfg);
-        let without = train_eval_runs(&JointControllerConfig::without_prediction(), &cycle, cfg);
-        // Compare charge-corrected fuel so a deeper battery draw does
-        // not masquerade as a fuel saving; average across runs.
-        let fw = mean_of(&with, corrected_fuel_g);
-        let fo = mean_of(&without, corrected_fuel_g);
-        Fig2Row {
-            cycle: sc.name().to_string(),
-            fuel_with_g: fw,
-            fuel_without_g: fo,
-            normalized: fw / fo,
-        }
-    })
-    .collect()
+    ];
+    let cycles: Vec<_> = set.iter().map(|sc| sc.cycle()).collect();
+    let variants = [
+        ("with", JointControllerConfig::proposed()),
+        ("without", JointControllerConfig::without_prediction()),
+    ];
+    let grid = train_eval_grid("fig2", &cycles, &variants, cfg);
+    set.iter()
+        .zip(&grid)
+        .map(|(sc, per_variant)| {
+            // Compare charge-corrected fuel so a deeper battery draw does
+            // not masquerade as a fuel saving; average across runs.
+            let fw = mean_of(&per_variant[0], corrected_fuel_g);
+            let fo = mean_of(&per_variant[1], corrected_fuel_g);
+            Fig2Row {
+                cycle: sc.name().to_string(),
+                fuel_with_g: fw,
+                fuel_without_g: fo,
+                normalized: fw / fo,
+            }
+        })
+        .collect()
 }
 
 /// Fuel plus the fuel-equivalent of any net battery depletion, g.
@@ -245,19 +264,22 @@ pub fn corrected_reward(m: &EpisodeMetrics) -> f64 {
 /// Table 2: cumulative reward `Σ(−ṁ_f + w·f_aux)·ΔT` of the proposed
 /// joint controller vs the rule-based policy on OSCAR, UDDS, SC03, HWFET.
 pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
-    StandardCycle::paper_set()
-        .iter()
-        .map(|&sc| {
-            let cycle = sc.cycle();
-            let proposed = train_eval_runs(&JointControllerConfig::proposed(), &cycle, cfg);
-            let rule = run_rule_based(&cycle, cfg);
+    let set = StandardCycle::paper_set();
+    let cycles: Vec<_> = set.iter().map(|sc| sc.cycle()).collect();
+    let variants = [("proposed", JointControllerConfig::proposed())];
+    let grid = train_eval_grid("table2", &cycles, &variants, cfg);
+    set.iter()
+        .zip(cycles.iter().zip(&grid))
+        .map(|(sc, (cycle, per_variant))| {
+            let proposed = &per_variant[0];
+            let rule = run_rule_based(cycle, cfg);
             Table2Row {
                 cycle: sc.name().to_string(),
-                proposed: mean_of(&proposed, |m| m.total_reward),
+                proposed: mean_of(proposed, |m| m.total_reward),
                 rule_based: rule.total_reward,
-                proposed_corrected: mean_of(&proposed, corrected_reward),
+                proposed_corrected: mean_of(proposed, corrected_reward),
                 rule_corrected: corrected_reward(&rule),
-                proposed_delta_soc: mean_of(&proposed, |m| m.soc_final - m.soc_initial),
+                proposed_delta_soc: mean_of(proposed, |m| m.soc_final - m.soc_initial),
                 rule_delta_soc: rule.soc_final - rule.soc_initial,
             }
         })
@@ -284,13 +306,15 @@ pub struct Fig3Row {
 /// Figure 3: MPG achieved by the proposed joint controller vs the
 /// rule-based policy on the paper's four cycles.
 pub fn fig3(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
-    StandardCycle::paper_set()
-        .iter()
-        .map(|&sc| {
-            let cycle = sc.cycle();
-            let proposed = train_eval_runs(&JointControllerConfig::proposed(), &cycle, cfg);
-            let rule = run_rule_based(&cycle, cfg);
-            let p = mean_of(&proposed, corrected_mpg);
+    let set = StandardCycle::paper_set();
+    let cycles: Vec<_> = set.iter().map(|sc| sc.cycle()).collect();
+    let variants = [("proposed", JointControllerConfig::proposed())];
+    let grid = train_eval_grid("fig3", &cycles, &variants, cfg);
+    set.iter()
+        .zip(cycles.iter().zip(&grid))
+        .map(|(sc, (cycle, per_variant))| {
+            let rule = run_rule_based(cycle, cfg);
+            let p = mean_of(&per_variant[0], corrected_mpg);
             let r = corrected_mpg(&rule);
             Fig3Row {
                 cycle: sc.name().to_string(),
@@ -323,19 +347,37 @@ pub struct LearningCurvePoint {
 /// sampled every `stride` episodes.
 pub fn learning_curve(cfg: &ExperimentConfig, stride: usize) -> Vec<LearningCurvePoint> {
     let cycle = StandardCycle::Udds.cycle();
-    let run = |controller_cfg: JointControllerConfig| -> Vec<EpisodeMetrics> {
-        let mut c = controller_cfg;
-        c.initial_soc = cfg.initial_soc;
-        c.seed = cfg.seed;
-        let mut hev = fresh_hev(cfg.initial_soc);
-        let mut agent = JointController::new(c);
-        agent.train(&mut hev, &cycle, cfg.episodes)
-    };
-    let reduced = run(JointControllerConfig::proposed());
-    let full = run(JointControllerConfig::full_action_space(
-        5,
-        vec![100.0, 600.0, 1_100.0],
-    ));
+    let seed = SeedSequence::new(cfg.seed).child(0);
+    let tasks = vec![
+        RunSpec {
+            label: "learning-curve/reduced".to_string(),
+            seed,
+            payload: JointControllerConfig::proposed(),
+        },
+        RunSpec {
+            label: "learning-curve/full".to_string(),
+            seed,
+            payload: JointControllerConfig::full_action_space(5, vec![100.0, 600.0, 1_100.0]),
+        },
+    ];
+    let mut arms = cfg
+        .harness()
+        .run(
+            "learning-curve",
+            tasks,
+            |_, seed, mut c: JointControllerConfig| {
+                c.initial_soc = cfg.initial_soc;
+                c.seed = seed;
+                let mut hev = fresh_hev(cfg.initial_soc);
+                let mut agent = JointController::new(c);
+                agent.train(&mut hev, &cycle, cfg.episodes)
+            },
+        )
+        .into_iter();
+    let (reduced, full) = (
+        arms.next().expect("reduced arm"),
+        arms.next().expect("full arm"),
+    );
     reduced
         .iter()
         .zip(&full)
@@ -354,13 +396,19 @@ pub fn learning_curve(cfg: &ExperimentConfig, stride: usize) -> Vec<LearningCurv
 // ---------------------------------------------------------------------
 
 /// Trains a joint controller on a cycle and returns the greedy
-/// evaluation of a single run at the base seed.
+/// evaluation of a single run — run 0 of the master seed's family, so
+/// it matches `train_eval_runs(..)[0]` exactly.
 pub fn train_eval(
     controller_cfg: JointControllerConfig,
     cycle: &drive_cycle::DriveCycle,
     cfg: &ExperimentConfig,
 ) -> EpisodeMetrics {
-    train_eval_seeded(controller_cfg, cycle, cfg, cfg.seed)
+    train_eval_seeded(
+        controller_cfg,
+        cycle,
+        cfg,
+        SeedSequence::new(cfg.seed).child(0),
+    )
 }
 
 /// The standard training set: the nominal cycle plus perturbed replicas
@@ -394,15 +442,76 @@ fn train_eval_seeded(
     agent.evaluate(&mut hev, cycle)
 }
 
-/// Trains `cfg.runs` independent controllers (different seeds) and
-/// returns every greedy evaluation.
+/// Trains `cfg.runs` independent controllers (seed-split from
+/// `cfg.seed`) and returns every greedy evaluation, fanned across
+/// `cfg.jobs` workers. Bit-identical at every worker count.
 pub fn train_eval_runs(
     controller_cfg: &JointControllerConfig,
     cycle: &drive_cycle::DriveCycle,
     cfg: &ExperimentConfig,
 ) -> Vec<EpisodeMetrics> {
-    (0..cfg.runs.max(1))
-        .map(|k| train_eval_seeded(controller_cfg.clone(), cycle, cfg, cfg.seed + k as u64))
+    let group = format!("train/{}", cycle.name());
+    cfg.harness()
+        .run_seeded(&group, cfg.seed, cfg.runs.max(1), |_, seed| {
+            train_eval_seeded(controller_cfg.clone(), cycle, cfg, seed)
+        })
+}
+
+/// [`train_eval_runs`] reduced to a [`MetricsSummary`] — the multi-run
+/// aggregation step.
+pub fn train_eval_summary(
+    controller_cfg: &JointControllerConfig,
+    cycle: &drive_cycle::DriveCycle,
+    cfg: &ExperimentConfig,
+) -> MetricsSummary {
+    MetricsSummary::from_runs(&train_eval_runs(controller_cfg, cycle, cfg))
+}
+
+/// Trains every `(cycle × controller variant × run)` combination as one
+/// flat parallel batch and returns metrics indexed
+/// `[cycle][variant][run]`.
+///
+/// Flattening matters for wall-clock: `fig2` has 3 cycles × 2 variants
+/// × `runs` runs, and a per-call fan-out would cap the useful worker
+/// count at `runs`. Task order (and therefore output) is independent of
+/// scheduling; every task's seed depends only on its run index, exactly
+/// as in the serial path.
+pub fn train_eval_grid(
+    group: &str,
+    cycles: &[drive_cycle::DriveCycle],
+    variants: &[(&str, JointControllerConfig)],
+    cfg: &ExperimentConfig,
+) -> Vec<Vec<Vec<EpisodeMetrics>>> {
+    let runs = cfg.runs.max(1);
+    let seq = SeedSequence::new(cfg.seed);
+    let mut tasks = Vec::with_capacity(cycles.len() * variants.len() * runs);
+    for (ci, cycle) in cycles.iter().enumerate() {
+        for (vi, (vname, _)) in variants.iter().enumerate() {
+            for k in 0..runs {
+                tasks.push(RunSpec {
+                    label: format!("{group}/{}/{vname}/run{k}", cycle.name()),
+                    seed: seq.child(k as u64),
+                    payload: (ci, vi),
+                });
+            }
+        }
+    }
+    let flat = cfg.harness().run(group, tasks, |_, seed, (ci, vi)| {
+        train_eval_seeded(variants[vi].1.clone(), &cycles[ci], cfg, seed)
+    });
+    let mut iter = flat.into_iter();
+    cycles
+        .iter()
+        .map(|_| {
+            variants
+                .iter()
+                .map(|_| {
+                    (0..runs)
+                        .map(|_| iter.next().expect("grid result"))
+                        .collect()
+                })
+                .collect()
+        })
         .collect()
 }
 

@@ -1,0 +1,131 @@
+//! Deterministic work-stealing executor over scoped threads.
+//!
+//! Tasks are pulled from a shared queue by index, so thread scheduling
+//! decides only *when* a task runs, never *what it computes* or *where
+//! its result lands*: each result is written back to the slot of its
+//! task index, and the returned vector is in task order. A run is
+//! therefore bit-identical at any worker count as long as each task is
+//! a pure function of its input — which the training harness guarantees
+//! by deriving every run's RNG stream from its own
+//! [split seed](crate::harness::split_seed).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers the harness uses when none is requested: the
+/// machine's available parallelism (1 if that cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, input)` for every input and returns the results in
+/// input order, fanning the tasks across up to `jobs` scoped worker
+/// threads.
+///
+/// `jobs` is clamped to `[1, inputs.len()]`; with one worker (or one
+/// input) the tasks run inline on the caller's thread. A panicking task
+/// aborts the whole batch: remaining tasks may be skipped and the panic
+/// resurfaces on the caller after all workers have stopped.
+pub fn run_indexed<T, R, F>(jobs: usize, inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(inputs.len().max(1));
+    if jobs <= 1 {
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let input = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task taken twice");
+                let result = f(i, input);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed(jobs, (0..100usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100usize).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_results_across_worker_counts() {
+        let compute = |_: usize, seed: u64| -> u64 {
+            // A toy "training run": result depends only on the input.
+            let mut h = seed;
+            for _ in 0..1000 {
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            h
+        };
+        let serial = run_indexed(1, (0..32u64).collect(), compute);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(run_indexed(jobs, (0..32u64).collect(), compute), serial);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_input() {
+        let empty: Vec<u32> = run_indexed(4, Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(run_indexed(4, vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        assert_eq!(
+            run_indexed(16, vec![1, 2, 3], |_, x| x * 10),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -18,7 +18,10 @@
 //! * the **baselines**: rule-based \[5\], powertrain-only RL \[13\], ECMS
 //!   \[10\], and an offline DP bound \[7\] ([`baseline`]);
 //! * the episodic **simulation harness** and **metrics**
-//!   ([`simulate`], [`EpisodeMetrics`]).
+//!   ([`simulate`], [`EpisodeMetrics`]);
+//! * the deterministic **parallel training harness** ([`harness`]):
+//!   seed-split multi-run execution that is bit-identical at every
+//!   worker count, with multi-run aggregation ([`MetricsSummary`]).
 //!
 //! # Examples
 //!
@@ -55,6 +58,7 @@ pub mod action;
 pub mod analysis;
 pub mod baseline;
 pub mod controller;
+pub mod harness;
 pub mod inner_opt;
 pub mod metrics;
 pub mod policy_export;
@@ -69,8 +73,9 @@ pub use baseline::{
     EcmsController, RuleBasedConfig, RuleBasedController,
 };
 pub use controller::{ControllerSnapshot, JointController, JointControllerConfig};
+pub use harness::{split_seed, Harness, RunEvent, RunLog, RunSpec, SeedSequence};
 pub use inner_opt::{InnerOptimizer, ResolvedAction};
-pub use metrics::{mode_index, EpisodeMetrics};
+pub use metrics::{mode_index, EpisodeMetrics, MetricsSummary, StatSummary};
 pub use policy_export::PolicyTable;
 pub use reward::RewardConfig;
 pub use sim::{fallback_control, simulate, HevPolicy, Observation};

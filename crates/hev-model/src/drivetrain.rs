@@ -230,8 +230,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        let mut p = DrivetrainParams::default();
-        p.gearbox_efficiency = 1.5;
+        let p = DrivetrainParams {
+            gearbox_efficiency: 1.5,
+            ..Default::default()
+        };
         assert!(Drivetrain::new(p).is_err());
     }
 }

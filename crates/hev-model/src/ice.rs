@@ -280,8 +280,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        let mut p = IceParams::default();
-        p.peak_efficiency = 0.9;
+        let p = IceParams {
+            peak_efficiency: 0.9,
+            ..Default::default()
+        };
         assert!(Engine::new(p).is_err());
     }
 

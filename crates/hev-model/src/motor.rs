@@ -266,8 +266,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_params() {
-        let mut p = MotorParams::default();
-        p.copper_loss = 0.0;
+        let p = MotorParams {
+            copper_loss: 0.0,
+            ..Default::default()
+        };
         assert!(Motor::new(p).is_err());
     }
 }

@@ -648,8 +648,10 @@ mod tests {
 
     #[test]
     fn body_rejects_negative_mass() {
-        let mut b = BodyParams::default();
-        b.mass_kg = -1.0;
+        let b = BodyParams {
+            mass_kg: -1.0,
+            ..Default::default()
+        };
         assert_eq!(b.validate().unwrap_err().field, "mass_kg");
     }
 
@@ -669,22 +671,28 @@ mod tests {
 
     #[test]
     fn battery_rejects_inverted_window() {
-        let mut b = BatteryParams::default();
-        b.soc_min = 0.9;
+        let b = BatteryParams {
+            soc_min: 0.9,
+            ..Default::default()
+        };
         assert_eq!(b.validate().unwrap_err().field, "soc_min");
     }
 
     #[test]
     fn drivetrain_rejects_increasing_ratios() {
-        let mut d = DrivetrainParams::default();
-        d.gear_ratios = vec![3.0, 5.0];
+        let d = DrivetrainParams {
+            gear_ratios: vec![3.0, 5.0],
+            ..Default::default()
+        };
         assert!(d.validate().is_err());
     }
 
     #[test]
     fn aux_rejects_preferred_outside_range() {
-        let mut a = AuxParams::default();
-        a.preferred_power_w = 5_000.0;
+        let a = AuxParams {
+            preferred_power_w: 5_000.0,
+            ..Default::default()
+        };
         assert_eq!(a.validate().unwrap_err().field, "preferred_power_w");
     }
 

@@ -2,9 +2,7 @@
 //! stacking inside the controller, checkpoint/restore, and policy-map
 //! export.
 
-use hev_joint_control::control::{
-    JointController, JointControllerConfig, PolicyTable,
-};
+use hev_joint_control::control::{JointController, JointControllerConfig, PolicyTable};
 use hev_joint_control::cycle::StandardCycle;
 use hev_joint_control::model::{HevParams, ParallelHev};
 use hev_joint_control::predict::{Ensemble, Ewma, Horizon, MarkovChain, MovingAverage};
@@ -21,8 +19,7 @@ fn controller_accepts_stacked_predictors() {
         Ensemble::new(Ewma::new(0.3), MovingAverage::new(8), 0.05),
         5,
     );
-    let mut agent =
-        JointController::with_predictor(JointControllerConfig::proposed(), predictor);
+    let mut agent = JointController::with_predictor(JointControllerConfig::proposed(), predictor);
     let mut vehicle = hev();
     let cycle = StandardCycle::Oscar.cycle();
     agent.train(&mut vehicle, &cycle, 5);
@@ -34,8 +31,7 @@ fn controller_accepts_stacked_predictors() {
 #[test]
 fn controller_accepts_markov_horizon() {
     let predictor = Horizon::new(MarkovChain::new(-40_000.0, 60_000.0, 12), 3);
-    let mut agent =
-        JointController::with_predictor(JointControllerConfig::proposed(), predictor);
+    let mut agent = JointController::with_predictor(JointControllerConfig::proposed(), predictor);
     let mut vehicle = hev();
     let cycle = StandardCycle::Oscar.cycle();
     agent.train(&mut vehicle, &cycle, 3);
@@ -52,9 +48,8 @@ fn snapshot_then_policy_export_roundtrip() {
     // Snapshot → JSON → restore → the exported policy map is identical.
     let table_before = PolicyTable::extract(&agent, 0.6, 10, 10);
     let json = serde_json::to_string(&agent.snapshot()).expect("serializes");
-    let restored = JointController::from_snapshot(
-        serde_json::from_str(&json).expect("deserializes"),
-    );
+    let restored =
+        JointController::from_snapshot(serde_json::from_str(&json).expect("deserializes"));
     let table_after = PolicyTable::extract(&restored, 0.6, 10, 10);
     assert_eq!(table_before.cells, table_after.cells);
     assert!(table_before.coverage() > 0.0);

@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: the full pipeline from driving cycle
 //! through vehicle model, predictor, and RL controller.
 
+use std::sync::OnceLock;
+
 use hev_joint_control::control::{
-    simulate, EcmsController, JointController, JointControllerConfig, RewardConfig,
-    RuleBasedController,
+    simulate, ControllerSnapshot, EcmsController, EpisodeMetrics, JointController,
+    JointControllerConfig, RewardConfig, RuleBasedController,
 };
 use hev_joint_control::cycle::{
     MicroTripConfig, MicroTripGenerator, ProfileBuilder, StandardCycle,
@@ -25,6 +27,22 @@ fn quick_rl_config() -> JointControllerConfig {
         )),
     };
     c
+}
+
+/// The expensive fixture — a quick-config controller trained 80 episodes
+/// on OSCAR — trained exactly once and shared by every test that needs a
+/// trained policy. Tests rehydrate a private copy via
+/// [`JointController::from_snapshot`], so sharing cannot leak mutable
+/// state between them.
+fn trained_oscar() -> &'static (Vec<EpisodeMetrics>, ControllerSnapshot) {
+    static TRAINED: OnceLock<(Vec<EpisodeMetrics>, ControllerSnapshot)> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let cycle = StandardCycle::Oscar.cycle();
+        let mut vehicle = hev();
+        let mut agent = JointController::new(quick_rl_config());
+        let learning = agent.train(&mut vehicle, &cycle, 80);
+        (learning, agent.snapshot())
+    })
 }
 
 #[test]
@@ -79,9 +97,9 @@ fn joint_rl_learns_oscar_beyond_exploration() {
         m.fuel_g - (m.soc_final - m.soc_initial) * 7_800.0 * 3_600.0 / (0.28 * 42_600.0)
     };
     let cycle = StandardCycle::Oscar.cycle();
+    let (learning, snapshot) = trained_oscar();
     let mut vehicle = hev();
-    let mut agent = JointController::new(quick_rl_config());
-    let learning = agent.train(&mut vehicle, &cycle, 80);
+    let mut agent = JointController::from_snapshot(snapshot.clone());
     let trained = agent.evaluate(&mut vehicle, &cycle);
     // The greedy policy must beat the exploration-heavy early episodes
     // on the charge-corrected fuel objective. (An *untrained* controller
@@ -98,10 +116,11 @@ fn joint_rl_learns_oscar_beyond_exploration() {
 
 #[test]
 fn trained_rl_is_charge_window_safe() {
+    // Evaluate the shared OSCAR-trained policy on SC03: the charge window
+    // must hold even on a cycle the controller never trained on.
     let cycle = StandardCycle::Sc03.cycle();
     let mut vehicle = hev();
-    let mut agent = JointController::new(quick_rl_config());
-    agent.train(&mut vehicle, &cycle, 30);
+    let mut agent = JointController::from_snapshot(trained_oscar().1.clone());
     let m = agent.evaluate(&mut vehicle, &cycle);
     assert!((0.40..=0.80).contains(&m.soc_final));
     assert_eq!(m.steps, cycle.len());

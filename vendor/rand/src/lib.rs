@@ -1,0 +1,351 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The crates.io registry is unreachable in this build environment, so
+//! this vendored crate provides the exact subset of the `rand` 0.8 API
+//! the workspace uses: the [`Rng`] and [`SeedableRng`] traits,
+//! [`rngs::StdRng`], uniform range sampling, and `gen::<f64>()` /
+//! `gen::<bool>()`.
+//!
+//! Determinism is a hard requirement of the parallel training harness:
+//! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64, which is
+//! pure integer arithmetic — identical streams on every platform,
+//! toolchain, and thread count. The stream differs from upstream
+//! `rand`'s StdRng (ChaCha12); nothing in this workspace depends on the
+//! upstream stream, only on seed-reproducibility.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the canonical 64-bit seed expander.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled from a uniform bit stream (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value from the 64-bit source.
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (src() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        src() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        src()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample_from(src: &mut dyn FnMut() -> u64) -> Self {
+        src() as usize
+    }
+}
+
+/// Multiply-shift bounded sampling: uniform in `[0, n)` without modulo
+/// bias for the table sizes used here (n ≪ 2^64).
+#[inline]
+fn bounded(src: &mut dyn FnMut() -> u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((src() as u128 * n as u128) >> 64) as u64
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a range. Mirrors
+/// upstream rand's `SampleUniform`.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(bounded(src, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return src() as $t;
+                }
+                lo.wrapping_add(bounded(src, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let u = <$t as Standard>::sample_from(src);
+                lo + u * (hi - lo)
+            }
+            #[inline]
+            fn sample_inclusive(lo: Self, hi: Self, src: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = <$t as Standard>::sample_from(src);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`].
+///
+/// Shaped like upstream rand: the sampled type `T` is a trait
+/// parameter, and each range shape has ONE blanket impl generic over
+/// `T`. Both properties matter for inference — `rng.gen_range(0.7..1.3)`
+/// must unify `T` with the literal's `{float}` variable immediately so
+/// surrounding arithmetic (and float-literal fallback) can pin it to
+/// `f64`, exactly as the real crate behaves.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, src: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, src: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(self.start, self.end, src)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, src: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), src)
+    }
+}
+
+/// A source of randomness (the subset of `rand::Rng` this workspace
+/// uses).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of type `T` (`f64` in `[0, 1)`, fair `bool`, …).
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut src = || self.next_u64();
+        T::sample_from(&mut src)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut src = || self.next_u64();
+        range.sample_from(&mut src)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable deterministic generators (the subset of `rand::SeedableRng`
+/// this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    ///
+    /// Seeded via SplitMix64 so that every `u64` seed yields a
+    /// well-mixed, platform-independent stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but keep the guard local.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    /// Alias kept for API compatibility: callers that ask for the small
+    /// generator get the same deterministic stream type.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_interval_is_half_open() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let k = r.gen_range(0..7usize);
+            assert!(k < 7);
+            let x = r.gen_range(-2.5..4.0);
+            assert!((-2.5..4.0).contains(&x));
+            let y = r.gen_range(1.0..=2.0);
+            assert!((1.0..=2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_hits_every_value() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_is_fair_enough() {
+        let mut r = StdRng::seed_from_u64(5);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_unsized() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        // Passing `&mut r` by value exercises `impl Rng for &mut R`.
+        fn take<R: Rng>(mut rng: R) -> usize {
+            rng.gen_range(0..3usize)
+        }
+        let mut r = StdRng::seed_from_u64(9);
+        let _ = draw(&mut r);
+        let _ = take(&mut r);
+    }
+}

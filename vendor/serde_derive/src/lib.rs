@@ -1,0 +1,438 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! `syn`/`quote` are unavailable (no registry access), so the input
+//! item is parsed directly from the token stream. Supported shapes —
+//! which cover every derive site in this workspace:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * bare type parameters (`struct S<A, B> { .. }`), which get a
+//!   `Serialize`/`Deserialize` bound in the generated impl.
+//!
+//! Field types never need to be parsed: generated code calls
+//! `serde::Deserialize::from_value` and lets inference pick the field's
+//! type from the struct definition itself.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (named fields) or index (tuple fields).
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { fields: Fields },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    item: Item,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips attributes (`#[...]` / `#![...]`) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 1; // '#'
+            if i < tokens.len() && is_punct(&tokens[i], '!') {
+                i += 1;
+            }
+            if i < tokens.len() && matches!(&tokens[i], TokenTree::Group(_)) {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Parses `<A, B>` (bare type parameters only) starting at `i`
+/// (pointing at `<`). Returns (params, index past `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
+    let mut params = Vec::new();
+    if i >= tokens.len() || !is_punct(&tokens[i], '<') {
+        return (params, i);
+    }
+    i += 1;
+    while i < tokens.len() && !is_punct(&tokens[i], '>') {
+        match &tokens[i] {
+            TokenTree::Ident(id) => params.push(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => {
+                panic!("serde stand-in derive supports only bare type parameters, found {other}")
+            }
+        }
+        i += 1;
+    }
+    (params, i + 1)
+}
+
+/// Parses the fields of a braced group: named fields only.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, found {}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "expected ':' after field name {}",
+            fields.last().unwrap()
+        );
+        i += 1;
+        // Skip the type: advance to the next top-level ',' tracking
+        // angle-bracket depth (tuples/arrays are nested groups already).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if angle_depth == 0 && is_punct(&tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            if is_punct(&tokens[i], '<') {
+                angle_depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                angle_depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesized tuple group (top-level commas,
+/// angle-depth aware).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = true;
+    for t in &tokens {
+        if is_punct(t, '<') {
+            angle_depth += 1;
+        } else if is_punct(t, '>') {
+            angle_depth -= 1;
+        } else if angle_depth == 0 && is_punct(t, ',') {
+            count += 1;
+            saw_token_since_comma = false;
+            continue;
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, found {}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("expected 'struct' or 'enum', found {}", tokens[i]);
+    };
+    let kind = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected item name, found {}", tokens[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    let (generics, next) = parse_generics(&tokens, i);
+    i = next;
+    let item = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                fields: Fields::Named(parse_named_fields(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                fields: Fields::Tuple(count_tuple_fields(g)),
+            },
+            Some(t) if is_punct(t, ';') => Item::Struct {
+                fields: Fields::Unit,
+            },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                variants: parse_enum_variants(g),
+            },
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde stand-in derive supports structs and enums, found '{other}'"),
+    };
+    Parsed {
+        name,
+        generics,
+        item,
+    }
+}
+
+fn impl_header(trait_name: &str, p: &Parsed) -> String {
+    if p.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", p.name)
+    } else {
+        let bounded: Vec<String> = p
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            p.name,
+            p.generics.join(", ")
+        )
+    }
+}
+
+fn serialize_fields_named(fields: &[String], accessor: &str) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "m.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({accessor}{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let mut m = ::std::vec::Vec::new(); {} ::serde::Value::Map(m) }}",
+        pushes.join(" ")
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => serialize_fields_named(names, "&self."),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Fields::Unit => format!(
+                "::serde::Value::Str(::std::string::String::from(\"{}\"))",
+                p.name
+            ),
+        },
+        Item::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "Self::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let inner = serialize_fields_named(names, "");
+                            format!(
+                                "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
+                                 ::std::string::String::from(\"{vname}\"), {inner})]),",
+                                names.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header("Serialize", &p)
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.item {
+        Item::Struct { fields } => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(m, \"{f}\")?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::Error::ty(\"{name}\", v))?; \
+                     Ok(Self {{ {} }})",
+                    inits.join(" ")
+                )
+            }
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                    .collect();
+                format!(
+                    "let seq = v.as_seq().ok_or_else(|| ::serde::Error::ty(\"{name}\", v))?; \
+                     if seq.len() != {n} {{ return Err(::serde::Error::ty(\"{name}\", v)); }} \
+                     Ok(Self({}))",
+                    inits.join(" ")
+                )
+            }
+            Fields::Unit => format!(
+                "match v.as_str() {{ Some(\"{name}\") => Ok(Self), \
+                 _ => Err(::serde::Error::ty(\"{name}\", v)) }}"
+            ),
+        },
+        Item::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("Some(\"{0}\") => return Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                 let seq = inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::ty(\"{name}::{vname}\", inner))?; \
+                                 if seq.len() != {n} {{ return Err(::serde::Error::ty(\
+                                 \"{name}::{vname}\", inner)); }} \
+                                 return Ok(Self::{vname}({})); }}",
+                                inits.join(" ")
+                            ))
+                        }
+                        Fields::Named(names) => {
+                            let inits: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_get(m, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                 let m = inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::ty(\"{name}::{vname}\", inner))?; \
+                                 return Ok(Self::{vname} {{ {} }}); }}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v.as_str() {{ {} _ => {{}} }} \
+                 if let Some(entries) = v.as_map() {{ \
+                 if entries.len() == 1 {{ \
+                 let (tag, inner) = &entries[0]; \
+                 match tag.as_str() {{ {} _ => {{}} }} }} }} \
+                 Err(::serde::Error::ty(\"{name}\", v))",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let out = format!(
+        "{} {{ fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header("Deserialize", &p)
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
