@@ -1,0 +1,60 @@
+//! End-to-end episode throughput of the joint controller's decision
+//! loop: full training episodes (action mask, myopic argmax,
+//! inner-optimizer resolve, apply) and greedy evaluation episodes on
+//! UDDS. This is the number the staged [`StepContext`] pipeline exists
+//! to improve — the micro-benches in `inner_opt.rs` measure one resolve,
+//! this measures a whole simulated episode the way `repro` runs it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use drive_cycle::StandardCycle;
+use hev_bench::experiments::fresh_hev;
+use hev_control::RuleBasedController;
+use hev_control::{simulate, JointController, JointControllerConfig, RewardConfig};
+
+fn bench_episode_throughput(c: &mut Criterion) {
+    let cycle = StandardCycle::Udds.cycle();
+    let mut group = c.benchmark_group("episode_throughput");
+
+    // One training episode from a fresh agent: exploration plus learning
+    // updates, every step through the staged pipeline.
+    group.bench_function("train_episode_udds", |b| {
+        b.iter(|| {
+            let mut cfg = JointControllerConfig::proposed();
+            cfg.seed = 42;
+            let mut agent = JointController::new(cfg);
+            let mut hev = fresh_hev(0.6);
+            agent.train(&mut hev, black_box(&cycle), 1);
+            agent
+        })
+    });
+
+    // A greedy evaluation episode from a trained agent — the production
+    // deployment path.
+    let mut cfg = JointControllerConfig::proposed();
+    cfg.seed = 42;
+    let mut trained = JointController::new(cfg);
+    let mut hev = fresh_hev(0.6);
+    trained.train(&mut hev, &cycle, 2);
+    group.bench_function("eval_episode_udds", |b| {
+        b.iter(|| {
+            let mut hev = fresh_hev(0.6);
+            trained.evaluate(&mut hev, black_box(&cycle)).fuel_g
+        })
+    });
+
+    // The rule-based controller drives the same model without the inner
+    // optimizer: a floor showing how much of an episode is decision cost.
+    group.bench_function("rule_based_episode_udds", |b| {
+        b.iter(|| {
+            let mut hev = fresh_hev(0.6);
+            let mut rb = RuleBasedController::default();
+            let reward = RewardConfig::default();
+            simulate(&mut hev, black_box(&cycle), &mut rb, &reward).fuel_g
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_episode_throughput);
+criterion_main!(benches);

@@ -1,5 +1,12 @@
 //! Latency of the per-step inner optimization (reduced action space):
 //! this bounds the controller's real-time budget.
+//!
+//! The `resolve_*` benches measure the staged pipeline the way every
+//! production caller runs it: the [`StepContext`] is built once per
+//! simulation step (see `sim::simulate` and the DP solver) and amortized
+//! across all currents resolved against it, so the per-resolve cost is
+//! `resolve_with` against a prebuilt context. The build itself is
+//! measured separately as `step_context_build`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hev_control::{InnerOptimizer, RewardConfig};
@@ -13,17 +20,23 @@ fn bench_inner_opt(c: &mut Criterion) {
     let mut group = c.benchmark_group("inner_opt");
 
     let cruise = hev.demand(20.0, 0.0, 0.0);
+    let cruise_ctx = hev.step_context(&cruise);
     group.bench_function("resolve_cruise", |b| {
-        b.iter(|| opt.resolve(&hev, black_box(&cruise), 5.0, 1.0, &reward))
+        b.iter(|| opt.resolve_with(&hev, black_box(&cruise_ctx), 5.0, 1.0, &reward))
     });
 
     let accel = hev.demand(12.0, 1.0, 0.0);
+    let accel_ctx = hev.step_context(&accel);
     group.bench_function("resolve_accel", |b| {
-        b.iter(|| opt.resolve(&hev, black_box(&accel), 40.0, 1.0, &reward))
+        b.iter(|| opt.resolve_with(&hev, black_box(&accel_ctx), 40.0, 1.0, &reward))
     });
 
     group.bench_function("resolve_fixed_aux", |b| {
-        b.iter(|| fixed.resolve(&hev, black_box(&cruise), 5.0, 1.0, &reward))
+        b.iter(|| fixed.resolve_with(&hev, black_box(&cruise_ctx), 5.0, 1.0, &reward))
+    });
+
+    group.bench_function("step_context_build", |b| {
+        b.iter(|| hev.step_context(black_box(&cruise)))
     });
 
     group.bench_function("feasibility_probe", |b| {

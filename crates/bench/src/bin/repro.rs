@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] <target>...
+//! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR]
+//!       [--bench-json PATH] [--bench-baseline PATH] <target>...
 //!
 //! targets:
 //!   table1                  HEV key parameters
@@ -20,6 +21,7 @@
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
+use hev_bench::perf::{self, StepThroughputReport};
 use hev_control::harness::{runlog, RunEvent, RunLog};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut run_log: Option<String> = None;
+    let mut bench_json: Option<PathBuf> = None;
+    let mut bench_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,6 +62,14 @@ fn main() -> ExitCode {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
                 None => return usage("--csv needs a directory"),
             },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_json = Some(PathBuf::from(path)),
+                None => return usage("--bench-json needs a path"),
+            },
+            "--bench-baseline" => match args.next() {
+                Some(path) => bench_baseline = Some(PathBuf::from(path)),
+                None => return usage("--bench-baseline needs a path"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
@@ -65,7 +77,7 @@ fn main() -> ExitCode {
             target => targets.push(target.to_string()),
         }
     }
-    if targets.is_empty() {
+    if targets.is_empty() && bench_json.is_none() {
         return usage("no target given");
     }
     if targets.iter().any(|t| t == "all") {
@@ -143,7 +155,63 @@ fn main() -> ExitCode {
                 .elapsed(t0),
         );
     }
+    if let Some(path) = &bench_json {
+        if let Err(code) = bench_throughput(&cfg, path, bench_baseline.as_deref()) {
+            return code;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Runs the single-threaded step-throughput workload and writes the
+/// machine-readable report (see `hev_bench::perf`).
+fn bench_throughput(
+    cfg: &ExperimentConfig,
+    path: &std::path::Path,
+    baseline: Option<&std::path::Path>,
+) -> Result<(), ExitCode> {
+    println!(
+        "\n== Step throughput: staged pipeline, single-threaded ({} train episodes) ==",
+        cfg.episodes
+    );
+    let (workload, sample) = perf::measure_step_throughput(cfg.episodes, cfg.seed);
+    let mut report = StepThroughputReport::new(workload, sample);
+    if let Some(base_path) = baseline {
+        let text = std::fs::read_to_string(base_path).map_err(|e| {
+            eprintln!("error: cannot read baseline {}: {e}", base_path.display());
+            ExitCode::FAILURE
+        })?;
+        let base: StepThroughputReport = serde_json::from_str(&text).map_err(|e| {
+            eprintln!("error: cannot parse baseline {}: {e}", base_path.display());
+            ExitCode::FAILURE
+        })?;
+        report = report.with_baseline(base.current);
+    }
+    rule(72);
+    println!(
+        "{:>10.4} s wall   {:>10.0} steps/s   {:>8.1} evals/step   ({} steps)",
+        report.current.wall_s,
+        report.current.steps_per_sec,
+        report.current.evals_per_step,
+        report.current.steps
+    );
+    if let (Some(base), Some(speedup)) = (&report.baseline, report.speedup) {
+        println!(
+            "baseline   {:>10.4} s wall   {:>10.0} steps/s   {:>8.1} evals/step   speedup {:.2}x",
+            base.wall_s, base.steps_per_sec, base.evals_per_step, speedup
+        );
+    }
+    rule(72);
+    let json = serde_json::to_string(&report).map_err(|e| {
+        eprintln!("error: cannot serialize throughput report: {e}");
+        ExitCode::FAILURE
+    })?;
+    std::fs::write(path, json + "\n").map_err(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        ExitCode::FAILURE
+    })?;
+    println!("(wrote {})", path.display());
+    Ok(())
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -152,11 +220,13 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
-         <target>...\n\
+         [--bench-json PATH] [--bench-baseline PATH] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
          ablation-alpha ablation-lambda ablation-weight ablation-predictor all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
-         --run-log writes JSON-lines progress/timing to PATH ('-' = stderr)."
+         --run-log writes JSON-lines progress/timing to PATH ('-' = stderr).\n\
+         --bench-json runs the single-threaded step-throughput workload and writes a\n\
+         machine-readable report; --bench-baseline compares against a previous report."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -10,6 +10,8 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod perf;
 
 pub use ablations::AblationRow;
 pub use experiments::{ExperimentConfig, Fig2Row, Fig3Row, Table1Row, Table2Row};
+pub use perf::{StepThroughputReport, ThroughputSample, Workload};

@@ -1,0 +1,186 @@
+//! Step-throughput measurement for the staged evaluation pipeline.
+//!
+//! The `repro --bench-json PATH` flag uses this module to record how fast
+//! the joint controller's decision loop runs end to end: wall-clock
+//! seconds, simulated control steps per second, and how many
+//! peek-equivalent model evaluations each step costs (feasibility
+//! probes, inner-optimization grid points, ternary refinements — see
+//! [`hev_model::instrument`]). The report is machine-readable JSON so CI
+//! can archive it and a later run can compare against a committed
+//! baseline with [`StepThroughputReport::with_baseline`].
+//!
+//! The measured workload is deliberately single-threaded: one
+//! [`JointController`] trained for a few episodes on UDDS and then
+//! evaluated once, on one thread, so the numbers are per-core throughput
+//! and the thread-local evaluation counter sees every evaluation.
+
+use crate::experiments::fresh_hev;
+use drive_cycle::StandardCycle;
+use hev_control::{JointController, JointControllerConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version stamp for the JSON schema; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What was run to produce a [`ThroughputSample`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Drive cycle name (e.g. `"UDDS"`).
+    pub cycle: String,
+    /// Number of training episodes before the timed evaluation episode.
+    pub train_episodes: usize,
+    /// RNG seed for the controller.
+    pub seed: u64,
+}
+
+/// One timed run of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSample {
+    /// Wall-clock seconds for the whole workload (train + evaluate).
+    pub wall_s: f64,
+    /// Total simulated control steps across all episodes.
+    pub steps: u64,
+    /// `steps / wall_s`.
+    pub steps_per_sec: f64,
+    /// Total peek-equivalent model evaluations recorded.
+    pub evals: u64,
+    /// `evals / steps` — the quantity the staged pipeline amortizes.
+    pub evals_per_step: f64,
+}
+
+/// The machine-readable report written by `repro --bench-json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepThroughputReport {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The workload both samples ran.
+    pub workload: Workload,
+    /// The freshly measured sample.
+    pub current: ThroughputSample,
+    /// Optional pre-recorded sample to compare against.
+    pub baseline: Option<ThroughputSample>,
+    /// `current.steps_per_sec / baseline.steps_per_sec` when a baseline
+    /// is present.
+    pub speedup: Option<f64>,
+}
+
+impl StepThroughputReport {
+    /// Builds a report with no baseline attached.
+    pub fn new(workload: Workload, current: ThroughputSample) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            workload,
+            current,
+            baseline: None,
+            speedup: None,
+        }
+    }
+
+    /// Attaches a baseline sample and computes the throughput ratio.
+    pub fn with_baseline(mut self, baseline: ThroughputSample) -> Self {
+        self.speedup = if baseline.steps_per_sec > 0.0 {
+            Some(self.current.steps_per_sec / baseline.steps_per_sec)
+        } else {
+            None
+        };
+        self.baseline = Some(baseline);
+        self
+    }
+}
+
+/// Runs the standard throughput workload and times it.
+///
+/// Trains a reduced-action-space [`JointController`] for
+/// `train_episodes` episodes on UDDS, then evaluates one greedy episode,
+/// all on the calling thread. Every simulated step — training and
+/// evaluation alike — goes through the full staged pipeline (action
+/// mask, myopic argmax, inner-optimizer resolve, apply), so the
+/// evaluation counter reflects production per-step cost.
+pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, ThroughputSample) {
+    let cycle = StandardCycle::Udds.cycle();
+    let mut cfg = JointControllerConfig::proposed();
+    cfg.seed = seed;
+    let mut agent = JointController::new(cfg);
+    let mut hev = fresh_hev(0.6);
+
+    hev_model::instrument::reset_evals();
+    let t0 = Instant::now();
+    agent.train(&mut hev, &cycle, train_episodes);
+    let metrics = agent.evaluate(&mut hev, &cycle);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let evals = hev_model::instrument::evals();
+
+    let steps_per_episode = metrics.steps as u64;
+    let steps = steps_per_episode * (train_episodes as u64 + 1);
+    let workload = Workload {
+        cycle: "UDDS".to_string(),
+        train_episodes,
+        seed,
+    };
+    let sample = ThroughputSample {
+        wall_s,
+        steps,
+        steps_per_sec: if wall_s > 0.0 {
+            steps as f64 / wall_s
+        } else {
+            0.0
+        },
+        evals,
+        evals_per_step: if steps > 0 {
+            evals as f64 / steps as f64
+        } else {
+            0.0
+        },
+    };
+    (workload, sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_consistent_sample() {
+        let (workload, sample) = measure_step_throughput(1, 42);
+        assert_eq!(workload.cycle, "UDDS");
+        assert_eq!(workload.train_episodes, 1);
+        assert!(sample.steps > 0);
+        assert!(sample.wall_s > 0.0);
+        assert!(sample.steps_per_sec > 0.0);
+        assert!(
+            sample.evals > 0,
+            "instrumented evaluations must be recorded"
+        );
+        assert!((sample.evals_per_step - sample.evals as f64 / sample.steps as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let workload = Workload {
+            cycle: "UDDS".to_string(),
+            train_episodes: 4,
+            seed: 42,
+        };
+        let current = ThroughputSample {
+            wall_s: 0.5,
+            steps: 6850,
+            steps_per_sec: 13700.0,
+            evals: 980_000,
+            evals_per_step: 143.1,
+        };
+        let baseline = ThroughputSample {
+            wall_s: 0.75,
+            steps: 6850,
+            steps_per_sec: 9133.3,
+            evals: 1_610_000,
+            evals_per_step: 235.0,
+        };
+        let report = StepThroughputReport::new(workload, current).with_baseline(baseline);
+        let text = serde_json::to_string(&report).unwrap();
+        let back: StepThroughputReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        let speedup = back.speedup.unwrap();
+        assert!((speedup - 13700.0 / 9133.3).abs() < 1e-9);
+    }
+}

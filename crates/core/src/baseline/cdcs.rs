@@ -89,7 +89,7 @@ impl CdCsController {
                 gear,
                 p_aux_w: aux,
             };
-            hev.peek(obs.demand, &c, 1.0).is_ok().then_some(c)
+            hev.peek_with_context(obs.ctx, &c, 1.0).is_ok().then_some(c)
         })
     }
 }

@@ -124,18 +124,22 @@ pub fn solve(
     };
 
     let points: Vec<_> = cycle.points().collect();
-    #[allow(clippy::needless_range_loop)] // j indexes both value_t and the soc grid
+    let mut ctx = hev_model::StepContext::default();
     for t in (0..t_len).rev() {
         let p = points[t];
         let demand = hev.demand(p.speed_mps, p.accel_mps2, p.grade);
+        // The context is battery-state independent, so one per timestep
+        // serves the entire SOC grid below.
+        hev.rebuild_context(&mut ctx, &demand);
         let mut value_t = vec![f64::NEG_INFINITY; n];
         let mut row = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // j indexes both value_t and the soc grid
         for j in 0..n {
             hev.reset_soc(soc_at(j));
             let mut best_v = f64::NEG_INFINITY;
             let mut best_c = None;
             for &i in &config.currents {
-                let Some(r) = inner.resolve(hev, &demand, i, dt, &config.reward) else {
+                let Some(r) = inner.resolve_with(hev, &ctx, i, dt, &config.reward) else {
                     continue;
                 };
                 let v = config.reward.paper_reward(&r.outcome)
@@ -148,7 +152,7 @@ pub fn solve(
             let control = best_c.unwrap_or_else(|| fallback_control(hev, &demand, dt));
             if best_v == f64::NEG_INFINITY {
                 // Fallback value: simulate the fallback control.
-                if let Ok(o) = hev.peek(&demand, &control, dt) {
+                if let Ok(o) = hev.peek_with_context(&ctx, &control, dt) {
                     best_v = config.reward.paper_reward(&o) + interp(&value_next, o.soc_after);
                 } else {
                     best_v = -1e6;

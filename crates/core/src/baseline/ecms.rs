@@ -95,7 +95,7 @@ impl HevPolicy for EcmsController {
                     gear,
                     p_aux_w: self.config.aux_power_w,
                 };
-                let Ok(o) = hev.peek(obs.demand, &c, 1.0) else {
+                let Ok(o) = hev.peek_with_context(obs.ctx, &c, 1.0) else {
                     continue;
                 };
                 // Equivalent fuel rate: chemical fuel plus (discounted)

@@ -125,7 +125,7 @@ impl RuleBasedController {
                     gear: *g,
                     p_aux_w: aux,
                 };
-                if hev.peek(obs.demand, &c, 1.0).is_ok() {
+                if hev.peek_with_context(obs.ctx, &c, 1.0).is_ok() {
                     return c;
                 }
             }
@@ -160,7 +160,7 @@ impl HevPolicy for RuleBasedController {
                         gear: g,
                         p_aux_w: cfg.aux_power_w,
                     };
-                    if hev.peek(d, &c, 1.0).is_ok() {
+                    if hev.peek_with_context(obs.ctx, &c, 1.0).is_ok() {
                         return c;
                     }
                 }

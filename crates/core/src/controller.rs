@@ -9,7 +9,7 @@
 //! model-free* exactly as §4.3.2 describes.
 
 use crate::action::ActionSpace;
-use crate::inner_opt::InnerOptimizer;
+use crate::inner_opt::{InnerOptimizer, ResolvedAction};
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
 use crate::sim::{fallback_control, simulate, HevPolicy, Observation};
@@ -142,6 +142,37 @@ pub struct JointController<P: Predictor = Ewma> {
     pending: Option<(usize, usize, f64)>,
     /// Set in `decide`, consumed in `feedback`.
     awaiting_reward: Option<(usize, usize)>,
+    /// Reusable per-step buffers (not part of the learned state).
+    scratch: StepScratch,
+}
+
+/// Reusable per-step working memory: the feasibility mask and the
+/// resolution cache. Reset at the top of each `decide`, so one allocation
+/// serves the whole episode, and each action's inner optimization runs at
+/// most once per step — masking, argmax, and acting share the entry.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// The current step's epoch; memo entries stamped with an older epoch
+    /// are stale, which makes the per-step reset O(1) instead of a memset
+    /// over the (large) memoized resolutions.
+    epoch: u64,
+    /// Per-action feasibility for the current step.
+    mask: Vec<bool>,
+    /// Per-action memoized inner-optimization result, valid only when its
+    /// stamp equals `epoch`; the payload `None` means resolved infeasible.
+    resolved: Vec<(u64, Option<ResolvedAction>)>,
+}
+
+impl StepScratch {
+    fn reset(&mut self, n_actions: usize) {
+        self.epoch += 1;
+        self.mask.clear();
+        self.mask.resize(n_actions, false);
+        if self.resolved.len() != n_actions {
+            self.resolved.clear();
+            self.resolved.resize(n_actions, (0, None));
+        }
+    }
 }
 
 /// A serializable checkpoint of a trained controller: configuration,
@@ -197,6 +228,7 @@ impl<P: Predictor> JointController<P> {
             training: true,
             pending: None,
             awaiting_reward: None,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -300,63 +332,80 @@ impl<P: Predictor> JointController<P> {
         })
     }
 
-    fn action_mask(&self, hev: &ParallelHev, obs: &Observation<'_>) -> Vec<bool> {
+    /// Fills `self.scratch.mask` with per-action feasibility, evaluated
+    /// against the observation's precomputed step context.
+    fn fill_action_mask(&mut self, hev: &ParallelHev, obs: &Observation<'_>) {
         let dt = self.config.reward.dt_s;
-        let n = self.config.action.len();
-        let mut mask = vec![false; n];
         match &self.config.action {
             ActionSpace::Reduced { currents } => {
                 for (idx, &i) in currents.iter().enumerate() {
-                    mask[idx] = self.config.inner.feasible(hev, obs.demand, i, dt);
+                    self.scratch.mask[idx] = self.config.inner.feasible_with(hev, obs.ctx, i, dt);
                 }
             }
             full @ ActionSpace::Full { .. } => {
-                for (idx, slot) in mask.iter_mut().enumerate() {
+                for idx in 0..self.scratch.mask.len() {
                     let c = full.decode(idx);
                     let control = ControlInput {
                         battery_current_a: c.battery_current_a,
                         gear: c.gear.expect("full action has a gear"),
                         p_aux_w: c.p_aux_w.expect("full action has an aux power"),
                     };
-                    *slot = hev.peek(obs.demand, &control, dt).is_ok();
+                    self.scratch.mask[idx] = hev.peek_with_context(obs.ctx, &control, dt).is_ok();
                 }
             }
         }
-        mask
+    }
+
+    /// Resolves a reduced-space action's inner optimization at most once
+    /// per step: masking, argmax, and acting all share the memoized entry
+    /// (the resolution is a pure function of `(hev state, ctx, current)`,
+    /// so reuse is bit-identical to re-resolving).
+    fn resolve_cached(
+        &mut self,
+        hev: &ParallelHev,
+        obs: &Observation<'_>,
+        action: usize,
+        current: f64,
+    ) -> Option<ResolvedAction> {
+        let (stamp, memo) = self.scratch.resolved[action];
+        if stamp == self.scratch.epoch {
+            return memo;
+        }
+        let resolved = self.config.inner.resolve_with(
+            hev,
+            obs.ctx,
+            current,
+            self.config.reward.dt_s,
+            &self.config.reward,
+        );
+        self.scratch.resolved[action] = (self.scratch.epoch, resolved);
+        resolved
     }
 
     /// The feasible action with the best instantaneous (inner-optimized)
     /// reward — the myopic policy used when evaluation reaches a state
-    /// never visited during training.
-    fn best_myopic_action(
-        &self,
-        hev: &ParallelHev,
-        obs: &Observation<'_>,
-        mask: &[bool],
-    ) -> Option<usize> {
+    /// never visited during training. Reads `self.scratch.mask`.
+    fn best_myopic_action(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> Option<usize> {
         let dt = self.config.reward.dt_s;
         let mut best: Option<(usize, f64)> = None;
-        for (idx, &ok) in mask.iter().enumerate() {
-            if !ok {
+        for idx in 0..self.scratch.mask.len() {
+            if !self.scratch.mask[idx] {
                 continue;
             }
-            let reward = match &self.config.action {
-                ActionSpace::Reduced { currents } => self
-                    .config
-                    .inner
-                    .resolve(hev, obs.demand, currents[idx], dt, &self.config.reward)
-                    .map(|r| r.reward),
-                full @ ActionSpace::Full { .. } => {
-                    let c = full.decode(idx);
-                    let control = ControlInput {
-                        battery_current_a: c.battery_current_a,
-                        gear: c.gear.expect("full action has a gear"),
-                        p_aux_w: c.p_aux_w.expect("full action has an aux power"),
-                    };
-                    hev.peek(obs.demand, &control, dt)
-                        .ok()
-                        .map(|o| self.config.reward.reward(&o))
-                }
+            let reward = if let ActionSpace::Reduced { currents } = &self.config.action {
+                let current = currents[idx];
+                self.resolve_cached(hev, obs, idx, current)
+                    .map(|r| r.reward)
+            } else {
+                let c = self.config.action.decode(idx);
+                let control = ControlInput {
+                    battery_current_a: c.battery_current_a,
+                    gear: c.gear.expect("full action has a gear"),
+                    p_aux_w: c.p_aux_w.expect("full action has an aux power"),
+                };
+                hev.peek_with_context(obs.ctx, &control, dt)
+                    .ok()
+                    .map(|o| self.config.reward.reward(&o))
             };
             if let Some(r) = reward {
                 if best.is_none_or(|(_, br)| r > br) {
@@ -368,26 +417,22 @@ impl<P: Predictor> JointController<P> {
     }
 
     fn control_for_action(
-        &self,
+        &mut self,
         hev: &ParallelHev,
         obs: &Observation<'_>,
         action: usize,
     ) -> Option<ControlInput> {
-        let dt = self.config.reward.dt_s;
-        match &self.config.action {
-            ActionSpace::Reduced { currents } => self
-                .config
-                .inner
-                .resolve(hev, obs.demand, currents[action], dt, &self.config.reward)
-                .map(|r| r.control),
-            full @ ActionSpace::Full { .. } => {
-                let c = full.decode(action);
-                Some(ControlInput {
-                    battery_current_a: c.battery_current_a,
-                    gear: c.gear.expect("full action has a gear"),
-                    p_aux_w: c.p_aux_w.expect("full action has an aux power"),
-                })
-            }
+        if let ActionSpace::Reduced { currents } = &self.config.action {
+            let current = currents[action];
+            self.resolve_cached(hev, obs, action, current)
+                .map(|r| r.control)
+        } else {
+            let c = self.config.action.decode(action);
+            Some(ControlInput {
+                battery_current_a: c.battery_current_a,
+                gear: c.gear.expect("full action has a gear"),
+                p_aux_w: c.p_aux_w.expect("full action has an aux power"),
+            })
         }
     }
 }
@@ -401,8 +446,9 @@ impl<P: Predictor> HevPolicy for JointController<P> {
 
     fn decide(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> ControlInput {
         let state = self.encode_state(obs);
-        let mask = self.action_mask(hev, obs);
-        if !mask.iter().any(|&m| m) {
+        self.scratch.reset(self.config.action.len());
+        self.fill_action_mask(hev, obs);
+        if !self.scratch.mask.iter().any(|&m| m) {
             // No discrete action feasible (rare): let the harness fall
             // back; no learning credit this step.
             self.awaiting_reward = None;
@@ -412,20 +458,21 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         // its feasible set are known (Algorithm 1, lines 5–10).
         if self.training {
             if let Some((s, a, r)) = self.pending.take() {
-                self.learner.update(s, a, r, state, Some(&mask));
+                self.learner
+                    .update(s, a, r, state, Some(&self.scratch.mask));
             }
         }
         let action = if self.training {
             self.learner
-                .select(state, &mask, &self.policy, &mut self.rng)
+                .select(state, &self.scratch.mask, &self.policy, &mut self.rng)
         } else {
             // Evaluation: restrict the greedy choice to actions the agent
             // actually experienced (unvisited entries carry the spuriously
             // attractive initialization). In a never-visited state, act
             // myopically: best instantaneous reward among feasible actions.
-            match self.learner.greedy_visited(state, Some(&mask)) {
+            match self.learner.greedy_visited(state, Some(&self.scratch.mask)) {
                 Some(a) => a,
-                None => match self.best_myopic_action(hev, obs, &mask) {
+                None => match self.best_myopic_action(hev, obs) {
                     Some(a) => a,
                     None => {
                         self.awaiting_reward = None;

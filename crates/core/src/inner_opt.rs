@@ -9,7 +9,7 @@
 //! claims for the reduced space.
 
 use crate::reward::RewardConfig;
-use hev_model::{ControlInput, ParallelHev, StepOutcome, WheelDemand};
+use hev_model::{ControlInput, CurrentContext, ParallelHev, StepContext, StepOutcome, WheelDemand};
 use serde::{Deserialize, Serialize};
 
 /// A fully resolved action: the control input, the predicted outcome, and
@@ -59,6 +59,11 @@ impl InnerOptimizer {
 
     /// Resolves the best `(gear, p_aux)` for the given battery current,
     /// or `None` when no combination is feasible (the action is masked).
+    ///
+    /// Builds a [`StepContext`] internally and amortizes it over the
+    /// `gears × (aux_grid + 2·refine_iters)` evaluations. Callers that
+    /// resolve several currents against one demand should build the
+    /// context once and use [`InnerOptimizer::resolve_with`].
     pub fn resolve(
         &self,
         hev: &ParallelHev,
@@ -67,19 +72,58 @@ impl InnerOptimizer {
         dt: f64,
         reward: &RewardConfig,
     ) -> Option<ResolvedAction> {
-        let mut best: Option<ResolvedAction> = None;
+        let ctx = hev.step_context(demand);
+        self.resolve_with(hev, &ctx, battery_current_a, dt, reward)
+    }
+
+    /// [`InnerOptimizer::resolve`] against a prebuilt [`StepContext`].
+    ///
+    /// Builds the per-current battery precomputation once and shares it
+    /// across every `(gear, p_aux)` evaluation of this call.
+    #[inline]
+    pub fn resolve_with(
+        &self,
+        hev: &ParallelHev,
+        ctx: &StepContext,
+        battery_current_a: f64,
+        dt: f64,
+        reward: &RewardConfig,
+    ) -> Option<ResolvedAction> {
+        let cur = hev.current_context(battery_current_a, dt);
+        if !ctx.is_stopped() && !cur.is_feasible() {
+            // The commanded current violates the pack limits: every
+            // moving-mode evaluation replays the same error, so the whole
+            // sweep is masked without paying for a single one.
+            return None;
+        }
+        // The sweep tracks only `(gear, p_aux, reward)`; losers' outcomes
+        // are never materialized, and the winner is completed once at the
+        // end. The completion is a pure function of `(ctx, cur, control)`,
+        // so the re-evaluation returns the same bits the sweep saw, and
+        // the strict-`>`/first-wins comparisons on the same reward floats
+        // select the same winner a materializing sweep would.
+        let mut best: Option<(usize, f64, f64)> = None;
         for gear in 0..hev.drivetrain().num_gears() {
+            if !ctx.gear_is_viable(gear) {
+                // A control-independent check already failed for this
+                // gear during precomputation; no candidate here can be
+                // feasible, so skipping cannot change the argmax.
+                continue;
+            }
             let candidate = match self.fixed_aux_w {
-                Some(aux) => self.evaluate(hev, demand, battery_current_a, gear, aux, dt, reward),
-                None => self.best_aux_for_gear(hev, demand, battery_current_a, gear, dt, reward),
+                Some(aux) => self
+                    .evaluate_reward(hev, ctx, &cur, gear, aux, reward)
+                    .map(|r| (aux, r)),
+                None => self.best_aux_for_gear(hev, ctx, &cur, gear, reward),
             };
-            if let Some(c) = candidate {
-                if best.is_none_or(|b| c.reward > b.reward) {
-                    best = Some(c);
+            if let Some((p, r)) = candidate {
+                if best.is_none_or(|(_, _, br)| r > br) {
+                    best = Some((gear, p, r));
                 }
             }
         }
-        best
+        let (gear, p_aux_w, _) = best?;
+        self.evaluate(hev, ctx, &cur, gear, p_aux_w, reward)
     }
 
     /// Cheap feasibility probe: is the current realizable in *any* gear
@@ -109,23 +153,58 @@ impl InnerOptimizer {
         })
     }
 
-    #[allow(clippy::too_many_arguments)] // private helper threading one tuple
+    /// [`InnerOptimizer::feasible`] against a prebuilt [`StepContext`] —
+    /// the per-step action-mask path, where the context built for the
+    /// final apply is already in hand.
+    #[inline]
+    pub fn feasible_with(
+        &self,
+        hev: &ParallelHev,
+        ctx: &StepContext,
+        battery_current_a: f64,
+        dt: f64,
+    ) -> bool {
+        let aux = self
+            .fixed_aux_w
+            .unwrap_or_else(|| hev.aux().preferred_power());
+        let cur = hev.current_context(battery_current_a, dt);
+        if !ctx.is_stopped() && !cur.is_feasible() {
+            return false;
+        }
+        (0..hev.drivetrain().num_gears()).any(|gear| {
+            ctx.gear_is_viable(gear)
+                && hev
+                    .peek_with_contexts(
+                        ctx,
+                        &cur,
+                        &ControlInput {
+                            battery_current_a,
+                            gear,
+                            p_aux_w: aux,
+                        },
+                    )
+                    .is_ok()
+        })
+    }
+
+    /// Materializes one `(gear, p_aux)` candidate against the prebuilt
+    /// contexts; `None` when infeasible.
+    #[inline(always)]
     fn evaluate(
         &self,
         hev: &ParallelHev,
-        demand: &WheelDemand,
-        current: f64,
+        ctx: &StepContext,
+        cur: &CurrentContext,
         gear: usize,
         p_aux_w: f64,
-        dt: f64,
         reward: &RewardConfig,
     ) -> Option<ResolvedAction> {
         let control = ControlInput {
-            battery_current_a: current,
+            battery_current_a: cur.battery_current_a(),
             gear,
             p_aux_w,
         };
-        let outcome = hev.peek(demand, &control, dt).ok()?;
+        let outcome = hev.peek_with_contexts(ctx, cur, &control).ok()?;
         Some(ResolvedAction {
             control,
             outcome,
@@ -133,27 +212,51 @@ impl InnerOptimizer {
         })
     }
 
+    /// Reward of one `(gear, p_aux)` candidate without keeping its
+    /// outcome — the sweep-side evaluation (the reward reads only a few
+    /// outcome fields, so the rest of the completion melts away here).
+    #[inline(always)]
+    fn evaluate_reward(
+        &self,
+        hev: &ParallelHev,
+        ctx: &StepContext,
+        cur: &CurrentContext,
+        gear: usize,
+        p_aux_w: f64,
+        reward: &RewardConfig,
+    ) -> Option<f64> {
+        let control = ControlInput {
+            battery_current_a: cur.battery_current_a(),
+            gear,
+            p_aux_w,
+        };
+        let outcome = hev.peek_with_contexts(ctx, cur, &control).ok()?;
+        Some(reward.reward(&outcome))
+    }
+
+    /// The best `(p_aux, reward)` of one gear: coarse grid, then ternary
+    /// refinement around the best grid point.
+    #[inline(always)]
     fn best_aux_for_gear(
         &self,
         hev: &ParallelHev,
-        demand: &WheelDemand,
-        current: f64,
+        ctx: &StepContext,
+        cur: &CurrentContext,
         gear: usize,
-        dt: f64,
         reward: &RewardConfig,
-    ) -> Option<ResolvedAction> {
+    ) -> Option<(f64, f64)> {
         let (lo, hi) = hev.aux().power_range();
         let n = self.aux_grid.max(2);
-        let mut best: Option<(usize, ResolvedAction)> = None;
+        let mut best: Option<(usize, f64, f64)> = None;
         for k in 0..n {
             let p = lo + (hi - lo) * k as f64 / (n - 1) as f64;
-            if let Some(r) = self.evaluate(hev, demand, current, gear, p, dt, reward) {
-                if best.as_ref().is_none_or(|(_, b)| r.reward > b.reward) {
-                    best = Some((k, r));
+            if let Some(r) = self.evaluate_reward(hev, ctx, cur, gear, p, reward) {
+                if best.is_none_or(|(_, _, b)| r > b) {
+                    best = Some((k, p, r));
                 }
             }
         }
-        let (k_best, mut best) = best?;
+        let (k_best, mut p_best, mut r_best) = best?;
         // Ternary-search refinement in the bracket around the best grid
         // point (the reward is uni-modal in p_aux in practice: fuel rises
         // monotonically with p_aux while the utility is quasi-concave).
@@ -163,38 +266,42 @@ impl InnerOptimizer {
         for _ in 0..self.refine_iters {
             let m1 = a + (b - a) / 3.0;
             let m2 = b - (b - a) / 3.0;
-            let r1 = self.evaluate(hev, demand, current, gear, m1, dt, reward);
-            let r2 = self.evaluate(hev, demand, current, gear, m2, dt, reward);
+            let r1 = self.evaluate_reward(hev, ctx, cur, gear, m1, reward);
+            let r2 = self.evaluate_reward(hev, ctx, cur, gear, m2, reward);
             match (r1, r2) {
                 (Some(x1), Some(x2)) => {
-                    if x1.reward >= x2.reward {
+                    if x1 >= x2 {
                         b = m2;
-                        if x1.reward > best.reward {
-                            best = x1;
+                        if x1 > r_best {
+                            r_best = x1;
+                            p_best = m1;
                         }
                     } else {
                         a = m1;
-                        if x2.reward > best.reward {
-                            best = x2;
+                        if x2 > r_best {
+                            r_best = x2;
+                            p_best = m2;
                         }
                     }
                 }
                 (Some(x1), None) => {
                     b = m2;
-                    if x1.reward > best.reward {
-                        best = x1;
+                    if x1 > r_best {
+                        r_best = x1;
+                        p_best = m1;
                     }
                 }
                 (None, Some(x2)) => {
                     a = m1;
-                    if x2.reward > best.reward {
-                        best = x2;
+                    if x2 > r_best {
+                        r_best = x2;
+                        p_best = m2;
                     }
                 }
                 (None, None) => break,
             }
         }
-        Some(best)
+        Some((p_best, r_best))
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
 use drive_cycle::DriveCycle;
-use hev_model::{ControlInput, ParallelHev, StepOutcome, WheelDemand};
+use hev_model::{ControlInput, ParallelHev, StepContext, StepOutcome, WheelDemand};
 
 /// What a controller observes before deciding (§4.3.1: all quantities are
 /// available from online measurement; the charge via Coulomb counting).
@@ -18,6 +18,11 @@ pub struct Observation<'a> {
     pub demand: &'a WheelDemand,
     /// Battery state of charge.
     pub soc: f64,
+    /// Precomputed step context for this demand (stage 1 of the staged
+    /// evaluation pipeline). Controllers that peek many candidate controls
+    /// evaluate them against this via [`ParallelHev::peek_with_context`]
+    /// instead of re-deriving the gear kinematics per peek.
+    pub ctx: &'a StepContext,
 }
 
 /// A supervisory HEV controller: decides the control input each step and
@@ -125,17 +130,23 @@ pub fn simulate(
 ) -> EpisodeMetrics {
     let dt = cycle.dt();
     let mut metrics = EpisodeMetrics::new(hev.soc());
+    // One step context per step, its gear table reused across the whole
+    // episode: the controller's mask/argmax/act evaluations and the final
+    // apply all complete against the same precomputed kinematics.
+    let mut ctx = StepContext::default();
     controller.begin_episode();
     for (step, point) in cycle.points().enumerate() {
         let demand = hev.demand(point.speed_mps, point.accel_mps2, point.grade);
+        hev.rebuild_context(&mut ctx, &demand);
         let obs = Observation {
             step,
             time_s: point.time_s,
             demand: &demand,
             soc: hev.soc(),
+            ctx: &ctx,
         };
         let control = controller.decide(hev, &obs);
-        let (outcome, was_fallback) = match hev.step(&demand, &control, dt) {
+        let (outcome, was_fallback) = match hev.step_with_context(&ctx, &control, dt) {
             Ok(o) => (o, false),
             Err(_) => (step_with_fallback(hev, &demand, dt, &mut metrics), true),
         };

@@ -46,11 +46,13 @@ impl AuxiliarySystems {
     }
 
     /// The power level maximizing the utility, W.
+    #[inline]
     pub fn preferred_power(&self) -> f64 {
         self.params.preferred_power_w
     }
 
     /// Allowed operating-power range, W.
+    #[inline]
     pub fn power_range(&self) -> (f64, f64) {
         (self.params.min_power_w, self.params.max_power_w)
     }
@@ -62,6 +64,7 @@ impl AuxiliarySystems {
     /// non-positive, matching the paper's observation that "the reward
     /// function value is negative" (§5): deviations from the preferred
     /// auxiliary power can only lose utility.
+    #[inline]
     pub fn utility(&self, p_aux_w: f64) -> f64 {
         let d = (p_aux_w - self.params.preferred_power_w) / self.params.utility_scale_w;
         (-d * d).max(-4.0)
@@ -72,6 +75,7 @@ impl AuxiliarySystems {
     /// # Errors
     ///
     /// Returns [`InfeasibleControl::AuxPowerRange`] when violated.
+    #[inline]
     pub fn check_power(&self, p_aux_w: f64) -> Result<(), InfeasibleControl> {
         let (min_w, max_w) = self.power_range();
         if !(min_w..=max_w).contains(&p_aux_w) || !p_aux_w.is_finite() {

@@ -44,6 +44,7 @@ impl Drivetrain {
     }
 
     /// Number of gears.
+    #[inline]
     pub fn num_gears(&self) -> usize {
         self.params.gear_ratios.len()
     }
@@ -54,6 +55,7 @@ impl Drivetrain {
     ///
     /// Returns [`InfeasibleControl::InvalidGear`] for an out-of-range
     /// index.
+    #[inline]
     pub fn ratio(&self, gear: usize) -> Result<f64, InfeasibleControl> {
         self.params
             .gear_ratios

@@ -88,13 +88,52 @@ impl Engine {
     /// Returns 0 for non-positive torque or power (the engine does not
     /// absorb power).
     pub fn efficiency(&self, torque_nm: f64, speed_rad_s: f64) -> f64 {
+        self.efficiency_with_wot(torque_nm, speed_rad_s, self.max_torque(speed_rad_s))
+    }
+
+    /// The speed parabola of the separable efficiency surface — the whole
+    /// speed-dependent subexpression of [`Engine::efficiency`], exposed so
+    /// hot callers evaluating many torques at one speed can hoist it.
+    #[inline]
+    pub(crate) fn speed_factor(&self, speed_rad_s: f64) -> f64 {
+        let p = &self.params;
+        1.0 - ((speed_rad_s - p.best_speed_rad_s) / p.speed_span_rad_s).powi(2)
+    }
+
+    /// [`Engine::efficiency`] with the wide-open-throttle torque at
+    /// `speed_rad_s` precomputed by [`Engine::max_torque`]; exact same
+    /// arithmetic. Hot callers that evaluate many torques at one speed
+    /// hoist the curve interpolation out of the loop.
+    pub(crate) fn efficiency_with_wot(
+        &self,
+        torque_nm: f64,
+        speed_rad_s: f64,
+        wot_torque_nm: f64,
+    ) -> f64 {
+        self.efficiency_with_pre(
+            torque_nm,
+            speed_rad_s,
+            wot_torque_nm,
+            self.speed_factor(speed_rad_s),
+        )
+    }
+
+    /// [`Engine::efficiency_with_wot`] with the speed parabola also
+    /// precomputed by [`Engine::speed_factor`]; exact same arithmetic.
+    #[inline]
+    pub(crate) fn efficiency_with_pre(
+        &self,
+        torque_nm: f64,
+        speed_rad_s: f64,
+        wot_torque_nm: f64,
+        speed_factor: f64,
+    ) -> f64 {
         if torque_nm <= 0.0 || speed_rad_s <= 0.0 {
             return 0.0;
         }
         let p = &self.params;
-        let load = (torque_nm / self.max_torque(speed_rad_s)).min(1.0);
+        let load = (torque_nm / wot_torque_nm).min(1.0);
         let load_factor = 1.0 - ((load - p.best_load_ratio) / p.load_span).powi(2);
-        let speed_factor = 1.0 - ((speed_rad_s - p.best_speed_rad_s) / p.speed_span_rad_s).powi(2);
         (p.peak_efficiency * load_factor.max(0.0) * speed_factor.max(0.0)).max(MIN_EFFICIENCY)
     }
 
@@ -110,8 +149,46 @@ impl Engine {
         if torque_nm <= 0.0 {
             return self.params.idle_fuel_g_per_s;
         }
+        self.fuel_rate_with_wot(torque_nm, speed_rad_s, self.max_torque(speed_rad_s))
+    }
+
+    /// [`Engine::fuel_rate`] with the wide-open-throttle torque at
+    /// `speed_rad_s` precomputed by [`Engine::max_torque`]; exact same
+    /// arithmetic.
+    pub(crate) fn fuel_rate_with_wot(
+        &self,
+        torque_nm: f64,
+        speed_rad_s: f64,
+        wot_torque_nm: f64,
+    ) -> f64 {
+        self.fuel_rate_with_pre(
+            torque_nm,
+            speed_rad_s,
+            wot_torque_nm,
+            self.speed_factor(speed_rad_s),
+        )
+    }
+
+    /// [`Engine::fuel_rate_with_wot`] with the speed parabola also
+    /// precomputed by [`Engine::speed_factor`]; exact same arithmetic.
+    #[inline]
+    pub(crate) fn fuel_rate_with_pre(
+        &self,
+        torque_nm: f64,
+        speed_rad_s: f64,
+        wot_torque_nm: f64,
+        speed_factor: f64,
+    ) -> f64 {
+        if speed_rad_s <= 0.0 {
+            return 0.0;
+        }
+        if torque_nm <= 0.0 {
+            return self.params.idle_fuel_g_per_s;
+        }
         let power_w = torque_nm * speed_rad_s;
-        power_w / (self.efficiency(torque_nm, speed_rad_s) * self.params.fuel_lhv_j_per_g)
+        power_w
+            / (self.efficiency_with_pre(torque_nm, speed_rad_s, wot_torque_nm, speed_factor)
+                * self.params.fuel_lhv_j_per_g)
     }
 
     /// The operating point `(T, ω)` is inside the feasible envelope of

@@ -40,6 +40,7 @@ pub mod drivetrain;
 pub mod dynamics;
 pub mod error;
 pub mod ice;
+pub mod instrument;
 pub mod motor;
 pub mod params;
 pub mod vehicle;
@@ -57,5 +58,6 @@ pub use params::{
     RPM_TO_RAD_S,
 };
 pub use vehicle::{
-    ControlInput, OperatingMode, ParallelHev, StepOutcome, ICE_ON_MIN_NM, STOP_SPEED_MPS,
+    ControlInput, CurrentContext, OperatingMode, ParallelHev, StepContext, StepOutcome,
+    ICE_ON_MIN_NM, STOP_SPEED_MPS,
 };

@@ -125,12 +125,36 @@ impl Motor {
         if speed_rad_s <= 0.0 {
             return None;
         }
+        self.torque_from_power_with_fixed_loss(
+            p_elec_w,
+            speed_rad_s,
+            self.fixed_loss_at(speed_rad_s),
+        )
+    }
+
+    /// The speed-dependent (torque-independent) part of the loss model,
+    /// `k_i·ω + k_w·ω³ + c0`, W. Hot callers that evaluate the inverse map
+    /// many times at one speed precompute this once.
+    pub(crate) fn fixed_loss_at(&self, speed_rad_s: f64) -> f64 {
         let p = &self.params;
+        p.iron_loss * speed_rad_s + p.windage_loss * speed_rad_s.powi(3) + p.constant_loss
+    }
+
+    /// [`Motor::torque_from_electrical_power`] with the fixed losses
+    /// precomputed by [`Motor::fixed_loss_at`]; exact same arithmetic.
+    pub(crate) fn torque_from_power_with_fixed_loss(
+        &self,
+        p_elec_w: f64,
+        speed_rad_s: f64,
+        fixed_loss_w: f64,
+    ) -> Option<f64> {
+        if speed_rad_s <= 0.0 {
+            return None;
+        }
         // k_c·T² + ω·T + (fixed losses − p_elec) = 0
-        let a = p.copper_loss;
+        let a = self.params.copper_loss;
         let b = speed_rad_s;
-        let c = p.iron_loss * speed_rad_s + p.windage_loss * speed_rad_s.powi(3) + p.constant_loss
-            - p_elec_w;
+        let c = fixed_loss_w - p_elec_w;
         let disc = b * b - 4.0 * a * c;
         if disc < 0.0 {
             return None;

@@ -115,6 +115,190 @@ pub struct StepOutcome {
     pub soc_after: f64,
 }
 
+/// Which of the three top-level demand regimes a step falls into; decides
+/// which completion path [`ParallelHev::peek_with_context`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// `speed < STOP_SPEED_MPS`: stopped-mode resolution (no per-gear
+    /// kinematics — the resolution depends only on battery state).
+    Stopped,
+    /// Negative wheel torque: braking split per gear.
+    Braking,
+    /// Everything else: propelling (engine-on or EV) per gear.
+    Propelling,
+}
+
+/// Per-gear precomputation shared by every control evaluated against one
+/// demand: shaft kinematics, machine envelope and fixed losses, engine
+/// speed/WOT torque, the EV-mode torque solution, and the braking regen
+/// floor. All values are exactly the ones the monolithic resolvers would
+/// compute, stored as whole results of the same pure calls, so completing
+/// a control against a `GearPre` is bit-identical to resolving it from
+/// scratch. Fields that don't apply to the entry's mode are left zeroed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct GearPre {
+    /// Machine speed `ω_EM` for this gear, rad/s.
+    w_em: f64,
+    /// Pre-resolved machine overspeed error, if any.
+    motor_speed_err: Option<InfeasibleControl>,
+    /// Required gearbox-input shaft torque, N·m.
+    t_shaft: f64,
+    /// Speed-dependent machine losses at `ω_EM`, W.
+    fixed_loss_w: f64,
+    // ---- propelling only -------------------------------------------------
+    /// Machine torque envelope at `ω_EM`, N·m.
+    t_em_min: f64,
+    /// Machine torque envelope at `ω_EM`, N·m.
+    t_em_max: f64,
+    /// Engine speed (idle-clamped), rad/s.
+    w_ice: f64,
+    /// Pre-resolved engine overspeed error, if any.
+    engine_speed_err: Option<InfeasibleControl>,
+    /// Wide-open-throttle engine torque at `w_ice`, N·m.
+    t_ice_max: f64,
+    /// Speed parabola of the engine efficiency surface at `w_ice`.
+    ice_speed_factor: f64,
+    /// Machine torque that covers the whole demand in EV mode, N·m.
+    t_em_ev: f64,
+    /// Pre-resolved EV-mode torque-envelope error, if any.
+    ev_torque_err: Option<InfeasibleControl>,
+    /// Machine electrical power in EV mode, W.
+    p_em_elec_ev: f64,
+    // ---- braking only ----------------------------------------------------
+    /// Most negative admissible regen torque, N·m.
+    regen_floor: f64,
+}
+
+/// Precomputed per-demand evaluation context: the first stage of the
+/// staged step pipeline.
+///
+/// Building a context performs, once per `(demand)`, all the work of
+/// [`ParallelHev::peek`] that does not depend on the control input —
+/// per-gear shaft speed/torque, machine envelopes, engine speed and WOT
+/// torque, the EV-mode solution, and the braking regen floor. The cheap
+/// completion stage ([`ParallelHev::peek_with_context`]) then applies a
+/// concrete `(battery_current, gear, p_aux)` against the precomputed gear
+/// entry. Controllers that evaluate hundreds of candidate controls per
+/// simulation step (feasibility masks, inner optimization, argmax) build
+/// the context once and amortize the kinematics across all of them.
+///
+/// The context is **battery-state independent**: completions read the live
+/// battery (SOC, thermal state) exactly like the monolithic path, so one
+/// context stays valid across SOC sweeps (e.g. a DP solver's state grid)
+/// as long as the demand and the vehicle's static parameters are
+/// unchanged. Reuse the allocation across steps with
+/// [`ParallelHev::rebuild_context`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepContext {
+    demand: WheelDemand,
+    kind: StepKind,
+    gears: Vec<GearPre>,
+}
+
+impl StepContext {
+    /// The wheel demand this context was built for.
+    pub fn demand(&self) -> &WheelDemand {
+        &self.demand
+    }
+
+    /// Whether the context resolves in stopped mode (no per-gear
+    /// kinematics; the commanded current is ignored).
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.kind == StepKind::Stopped
+    }
+
+    /// Whether *any* control input can complete at this gear: `false`
+    /// when a control-independent check (machine overspeed — the first
+    /// check of every moving completion) already failed during
+    /// precomputation, so every completion would replay the same error.
+    /// Optimizers sweeping `(gear, …)` candidates skip dead gears
+    /// without paying for an evaluation; skipped gears can never
+    /// contribute a feasible candidate, so the selected optimum is
+    /// unchanged.
+    #[inline]
+    pub fn gear_is_viable(&self, gear: usize) -> bool {
+        match self.kind {
+            StepKind::Stopped => true,
+            _ => self
+                .gears
+                .get(gear)
+                .is_none_or(|pre| pre.motor_speed_err.is_none()),
+        }
+    }
+}
+
+/// Precomputed battery-side quantities for one commanded current at the
+/// current battery state: the per-current companion of [`StepContext`].
+///
+/// Everything here is a whole result of the same pure battery call the
+/// completion stage would make — the current-limit check, the terminal
+/// power, the Coulomb-counted state of charge after `dt`, and the
+/// charge-window check on it — so completing against a `CurrentContext`
+/// is bit-identical to recomputing them in place.
+///
+/// Unlike [`StepContext`], this **does** depend on the live battery state
+/// (open-circuit voltage, thermal resistance, state of charge) and on
+/// `dt`; it is only valid until the battery state changes. Inner
+/// optimizers that evaluate one current against many `(gear, p_aux)`
+/// candidates build it once per current and amortize the battery math.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentContext {
+    /// The commanded battery current, A.
+    battery_current_a: f64,
+    /// Step length, s.
+    dt: f64,
+    /// Pre-resolved current-limit error, if any.
+    current_err: Option<InfeasibleControl>,
+    /// Terminal power at the commanded current, W.
+    p_batt_w: f64,
+    /// State of charge after carrying the commanded current for `dt`.
+    soc_after: f64,
+    /// Pre-resolved charge-window error for `soc_after`, if any.
+    window_err: Option<InfeasibleControl>,
+}
+
+impl CurrentContext {
+    /// The commanded battery current this context was built for, A.
+    #[inline]
+    pub fn battery_current_a(&self) -> f64 {
+        self.battery_current_a
+    }
+
+    /// The step length this context was built for, s.
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Whether the commanded current passes the pack's current limits.
+    /// When `false`, every moving-mode completion replays the same
+    /// pre-resolved error (stopped mode ignores the commanded current).
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.current_err.is_none()
+    }
+}
+
+impl Default for StepContext {
+    /// An empty context (stopped, zero demand); rebuild before use.
+    fn default() -> Self {
+        Self {
+            demand: WheelDemand {
+                speed_mps: 0.0,
+                accel_mps2: 0.0,
+                grade: 0.0,
+                tractive_force_n: 0.0,
+                wheel_torque_nm: 0.0,
+                wheel_speed_rad_s: 0.0,
+                power_demand_w: 0.0,
+            },
+            kind: StepKind::Stopped,
+            gears: Vec::new(),
+        }
+    }
+}
+
 /// The assembled parallel hybrid-electric vehicle.
 ///
 /// # Examples
@@ -223,6 +407,12 @@ impl ParallelHev {
     /// the vehicle. Controllers use this as an action-feasibility mask
     /// and for inner optimization.
     ///
+    /// This is a thin wrapper over the staged pipeline: it precomputes a
+    /// single-gear entry (the first stage) and completes the control
+    /// against it. Callers evaluating many controls against one demand
+    /// should build a [`StepContext`] once and use
+    /// [`ParallelHev::peek_with_context`] instead.
+    ///
     /// # Errors
     ///
     /// Returns the [`InfeasibleControl`] reason when the powertrain cannot
@@ -233,21 +423,171 @@ impl ParallelHev {
         control: &ControlInput,
         dt: f64,
     ) -> Result<StepOutcome, InfeasibleControl> {
+        crate::instrument::record_eval();
         self.drivetrain.ratio(control.gear)?;
         self.aux.check_power(control.p_aux_w)?;
 
         let mut outcome = if demand.speed_mps < STOP_SPEED_MPS {
             self.resolve_stopped(control, dt)?
         } else if demand.wheel_torque_nm < 0.0 {
-            self.resolve_braking(demand, control, dt)?
+            let pre = self.brake_pre(demand, control.gear);
+            let cur = self.current_context(control.battery_current_a, dt);
+            self.complete_braking(demand, &pre, &cur, control)?
         } else {
-            self.resolve_propelling(demand, control, dt)?
+            let pre = self.propel_pre(demand, control.gear);
+            let cur = self.current_context(control.battery_current_a, dt);
+            self.complete_propelling(demand, &pre, &cur, control)?
         };
         let running = outcome.ice_speed_rad_s > 0.0;
         if running && !self.engine_on {
             outcome.engine_started = true;
             outcome.fuel_g += self.engine.params().start_fuel_penalty_g;
         }
+        Ok(outcome)
+    }
+
+    /// Builds the precomputation stage of the step pipeline for `demand`:
+    /// everything [`ParallelHev::peek`] derives that does not depend on
+    /// the control input, for every gear. See [`StepContext`].
+    pub fn step_context(&self, demand: &WheelDemand) -> StepContext {
+        let mut ctx = StepContext::default();
+        self.rebuild_context(&mut ctx, demand);
+        ctx
+    }
+
+    /// Rebuilds `ctx` in place for a new demand, reusing its gear-table
+    /// allocation (the per-step path of a simulation loop).
+    pub fn rebuild_context(&self, ctx: &mut StepContext, demand: &WheelDemand) {
+        ctx.demand = *demand;
+        ctx.gears.clear();
+        ctx.kind = if demand.speed_mps < STOP_SPEED_MPS {
+            StepKind::Stopped
+        } else if demand.wheel_torque_nm < 0.0 {
+            StepKind::Braking
+        } else {
+            StepKind::Propelling
+        };
+        match ctx.kind {
+            // Stopped-mode resolution depends only on battery state; no
+            // per-gear kinematics to precompute.
+            StepKind::Stopped => {}
+            StepKind::Braking => {
+                for gear in 0..self.drivetrain.num_gears() {
+                    ctx.gears.push(self.brake_pre(demand, gear));
+                }
+            }
+            StepKind::Propelling => {
+                for gear in 0..self.drivetrain.num_gears() {
+                    ctx.gears.push(self.propel_pre(demand, gear));
+                }
+            }
+        }
+    }
+
+    /// Builds the per-current precomputation for `battery_current_a`
+    /// carried for `dt` seconds at the current battery state. See
+    /// [`CurrentContext`].
+    #[inline]
+    pub fn current_context(&self, battery_current_a: f64, dt: f64) -> CurrentContext {
+        let soc_after = self.battery.soc_after(battery_current_a, dt);
+        CurrentContext {
+            battery_current_a,
+            dt,
+            current_err: self.battery.check_current(battery_current_a).err(),
+            p_batt_w: self.battery.terminal_power(battery_current_a),
+            soc_after,
+            window_err: self.check_window(soc_after).err(),
+        }
+    }
+
+    /// The completion stage of the step pipeline: resolves a control input
+    /// against a prebuilt [`StepContext`] *without* mutating the vehicle.
+    /// Bit-identical to [`ParallelHev::peek`] on the context's demand.
+    ///
+    /// `ctx` must have been built (or rebuilt) by this vehicle for the
+    /// demand being evaluated; completions read the *live* battery state,
+    /// so a context stays valid across SOC changes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParallelHev::peek`].
+    pub fn peek_with_context(
+        &self,
+        ctx: &StepContext,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let cur = self.current_context(control.battery_current_a, dt);
+        self.peek_with_contexts(ctx, &cur, control)
+    }
+
+    /// [`ParallelHev::peek_with_context`] with the battery-side
+    /// precomputation also prebuilt — the innermost evaluation call of the
+    /// staged pipeline. Callers that sweep `(gear, p_aux)` for one
+    /// commanded current build the [`CurrentContext`] once per current.
+    ///
+    /// `cur` must have been built by [`ParallelHev::current_context`] for
+    /// `control.battery_current_a` at the *current* battery state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParallelHev::peek`].
+    #[inline(always)]
+    pub fn peek_with_contexts(
+        &self,
+        ctx: &StepContext,
+        cur: &CurrentContext,
+        control: &ControlInput,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        crate::instrument::record_eval();
+        self.drivetrain.ratio(control.gear)?;
+        self.aux.check_power(control.p_aux_w)?;
+        debug_assert!(
+            ctx.kind == StepKind::Stopped || ctx.gears.len() == self.drivetrain.num_gears(),
+            "StepContext built for a different drivetrain"
+        );
+        debug_assert_eq!(
+            cur.battery_current_a, control.battery_current_a,
+            "CurrentContext built for a different current"
+        );
+
+        let mut outcome = match ctx.kind {
+            StepKind::Stopped => self.resolve_stopped(control, cur.dt)?,
+            StepKind::Braking => {
+                self.complete_braking(&ctx.demand, &ctx.gears[control.gear], cur, control)?
+            }
+            StepKind::Propelling => {
+                self.complete_propelling(&ctx.demand, &ctx.gears[control.gear], cur, control)?
+            }
+        };
+        let running = outcome.ice_speed_rad_s > 0.0;
+        if running && !self.engine_on {
+            outcome.engine_started = true;
+            outcome.fuel_g += self.engine.params().start_fuel_penalty_g;
+        }
+        Ok(outcome)
+    }
+
+    /// Resolves a control input against a prebuilt [`StepContext`] and
+    /// commits the battery state; the staged counterpart of
+    /// [`ParallelHev::step`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParallelHev::peek`]; the state is unchanged on
+    /// error.
+    pub fn step_with_context(
+        &mut self,
+        ctx: &StepContext,
+        control: &ControlInput,
+        dt: f64,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        let outcome = self.peek_with_context(ctx, control, dt)?;
+        self.battery
+            .step(outcome.battery_current_a, dt)
+            .expect("peek validated the battery step");
+        debug_assert!((self.battery.soc() - outcome.soc_after).abs() < 1e-12);
+        self.engine_on = outcome.ice_speed_rad_s > 0.0;
         Ok(outcome)
     }
 
@@ -331,57 +671,151 @@ impl ParallelHev {
         })
     }
 
-    fn resolve_propelling(
-        &self,
-        demand: &WheelDemand,
-        control: &ControlInput,
-        dt: f64,
-    ) -> Result<StepOutcome, InfeasibleControl> {
-        let gear = control.gear;
+    // ---- staged precomputation (stage 1) --------------------------------
+    //
+    // The pre-builders compute, for one `(demand, gear)`, every quantity
+    // the mode resolvers derive that does not depend on the control input.
+    // Each cached value is the whole result of the same pure call the
+    // monolithic path made (never a re-associated partial sum), and
+    // control-independent *checks* are cached as the error they would
+    // raise, replayed by the completion stage at the original position in
+    // the check order — so completion is bit-identical by construction.
+
+    fn propel_pre(&self, demand: &WheelDemand, gear: usize) -> GearPre {
         let w_em = self.drivetrain.em_speed(demand.wheel_speed_rad_s, gear);
-        self.check_motor_speed(w_em)?;
-
-        self.battery.check_current(control.battery_current_a)?;
-        let p_batt = self.battery.terminal_power(control.battery_current_a);
-        let p_em_elec = p_batt - control.p_aux_w;
-        let t_em = self
-            .motor
-            .torque_from_electrical_power(p_em_elec, w_em)
-            .ok_or(InfeasibleControl::MotorPower {
-                p_elec_w: p_em_elec,
-                speed_rad_s: w_em,
-            })?;
-        self.check_motor_torque(t_em, w_em)?;
-
+        let motor_speed_err = self.check_motor_speed(w_em).err();
+        let (t_em_min, t_em_max) = (self.motor.min_torque(w_em), self.motor.max_torque(w_em));
+        let fixed_loss_w = self.motor.fixed_loss_at(w_em);
         let t_shaft = self
             .drivetrain
             .required_shaft_torque(demand.wheel_torque_nm, gear);
-        let t_ice = t_shaft - self.drivetrain.em_shaft_torque(t_em);
+
+        // Engine-on branch: below the geared idle speed the launch clutch
+        // slips — the engine runs at idle and transmits the torque across
+        // the slipping clutch.
+        let w_geared = self.drivetrain.ice_speed(demand.wheel_speed_rad_s, gear);
+        let w_ice = w_geared.max(self.engine.min_speed());
+        let engine_speed_err = if w_ice > self.engine.max_speed() {
+            Some(InfeasibleControl::EngineSpeed {
+                speed_rad_s: w_ice,
+                min_rad_s: self.engine.min_speed(),
+                max_rad_s: self.engine.max_speed(),
+            })
+        } else {
+            None
+        };
+        let t_ice_max = self.engine.max_torque(w_ice);
+        let ice_speed_factor = self.engine.speed_factor(w_ice);
+
+        // EV branch: invert the machine's shaft contribution,
+        // ρ·T_EM·η^α = t_shaft (the whole EV operating point is
+        // control-independent; only the aux load varies).
+        let p = self.drivetrain.params();
+        let t_em_ev = if t_shaft >= 0.0 {
+            t_shaft / (p.reduction_ratio * p.reduction_efficiency)
+        } else {
+            t_shaft * p.reduction_efficiency / p.reduction_ratio
+        };
+        let ev_torque_err = self.check_motor_torque(t_em_ev, w_em).err();
+        let p_em_elec_ev = self.motor.electrical_power(t_em_ev, w_em);
+
+        GearPre {
+            w_em,
+            motor_speed_err,
+            t_shaft,
+            fixed_loss_w,
+            t_em_min,
+            t_em_max,
+            w_ice,
+            engine_speed_err,
+            t_ice_max,
+            ice_speed_factor,
+            t_em_ev,
+            ev_torque_err,
+            p_em_elec_ev,
+            regen_floor: 0.0,
+        }
+    }
+
+    fn brake_pre(&self, demand: &WheelDemand, gear: usize) -> GearPre {
+        let w_em = self.drivetrain.em_speed(demand.wheel_speed_rad_s, gear);
+        let motor_speed_err = self.check_motor_speed(w_em).err();
+        let fixed_loss_w = self.motor.fixed_loss_at(w_em);
+        let p = self.drivetrain.params();
+        let t_shaft = self
+            .drivetrain
+            .required_shaft_torque(demand.wheel_torque_nm, gear);
+        // Regen torque that would cover the whole braking demand
+        // (α = −1 branch of Eq. 9).
+        let t_em_full = t_shaft * p.reduction_efficiency / p.reduction_ratio;
+        let regen_floor = t_em_full.max(self.motor.min_torque(w_em));
+        GearPre {
+            w_em,
+            motor_speed_err,
+            t_shaft,
+            fixed_loss_w,
+            regen_floor,
+            ..GearPre::default()
+        }
+    }
+
+    // ---- staged completion (stage 2) ------------------------------------
+
+    #[inline(always)]
+    fn complete_propelling(
+        &self,
+        demand: &WheelDemand,
+        pre: &GearPre,
+        cur: &CurrentContext,
+        control: &ControlInput,
+    ) -> Result<StepOutcome, InfeasibleControl> {
+        if let Some(err) = pre.motor_speed_err {
+            return Err(err);
+        }
+        if let Some(err) = cur.current_err {
+            return Err(err);
+        }
+        let p_batt = cur.p_batt_w;
+        let p_em_elec = p_batt - control.p_aux_w;
+        let t_em = self
+            .motor
+            .torque_from_power_with_fixed_loss(p_em_elec, pre.w_em, pre.fixed_loss_w)
+            .ok_or(InfeasibleControl::MotorPower {
+                p_elec_w: p_em_elec,
+                speed_rad_s: pre.w_em,
+            })?;
+        if !(pre.t_em_min..=pre.t_em_max).contains(&t_em) {
+            return Err(InfeasibleControl::MotorTorque {
+                torque_nm: t_em,
+                min_nm: pre.t_em_min,
+                max_nm: pre.t_em_max,
+            });
+        }
+
+        let t_ice = pre.t_shaft - self.drivetrain.em_shaft_torque(t_em);
 
         if t_ice > ICE_ON_MIN_NM {
             // Engine-on: the commanded current holds; the engine supplies
-            // the remaining torque exactly. Below the geared idle speed
-            // the launch clutch slips: the engine runs at idle and
-            // transmits the torque across the slipping clutch.
-            let w_geared = self.drivetrain.ice_speed(demand.wheel_speed_rad_s, gear);
-            let w_ice = w_geared.max(self.engine.min_speed());
-            if w_ice > self.engine.max_speed() {
-                return Err(InfeasibleControl::EngineSpeed {
-                    speed_rad_s: w_ice,
-                    min_rad_s: self.engine.min_speed(),
-                    max_rad_s: self.engine.max_speed(),
-                });
+            // the remaining torque exactly.
+            if let Some(err) = pre.engine_speed_err {
+                return Err(err);
             }
-            let t_max = self.engine.max_torque(w_ice);
-            if t_ice > t_max {
+            if t_ice > pre.t_ice_max {
                 return Err(InfeasibleControl::EngineTorque {
                     torque_nm: t_ice,
-                    max_nm: t_max,
+                    max_nm: pre.t_ice_max,
                 });
             }
-            let soc_after = self.battery.soc_after(control.battery_current_a, dt);
-            self.check_window(soc_after)?;
-            let fuel_rate = self.engine.fuel_rate(t_ice, w_ice);
+            let soc_after = cur.soc_after;
+            if let Some(err) = cur.window_err {
+                return Err(err);
+            }
+            let fuel_rate = self.engine.fuel_rate_with_pre(
+                t_ice,
+                pre.w_ice,
+                pre.t_ice_max,
+                pre.ice_speed_factor,
+            );
             let mode = if t_em > TORQUE_EPS {
                 OperatingMode::HybridAssist
             } else if t_em < -TORQUE_EPS {
@@ -392,12 +826,12 @@ impl ParallelHev {
             Ok(StepOutcome {
                 mode,
                 fuel_rate_g_per_s: fuel_rate,
-                fuel_g: fuel_rate * dt,
+                fuel_g: fuel_rate * cur.dt,
                 engine_started: false,
                 ice_torque_nm: t_ice,
-                ice_speed_rad_s: w_ice,
+                ice_speed_rad_s: pre.w_ice,
                 em_torque_nm: t_em,
-                em_speed_rad_s: w_em,
+                em_speed_rad_s: pre.w_em,
                 battery_current_a: control.battery_current_a,
                 battery_power_w: p_batt,
                 p_aux_w: control.p_aux_w,
@@ -411,28 +845,23 @@ impl ParallelHev {
             // demand: the engine disengages and the step resolves in EV
             // mode with the battery current *following the demand* — the
             // commanded current acts as an upper bound on discharge.
-            self.resolve_ev(demand, control, w_em, t_shaft, dt)
+            self.complete_ev(demand, pre, control, cur.dt)
         }
     }
 
-    fn resolve_ev(
+    #[inline(always)]
+    fn complete_ev(
         &self,
         demand: &WheelDemand,
+        pre: &GearPre,
         control: &ControlInput,
-        w_em: f64,
-        t_shaft: f64,
         dt: f64,
     ) -> Result<StepOutcome, InfeasibleControl> {
-        let p = self.drivetrain.params();
-        // Invert the machine's shaft contribution: ρ·T_EM·η^α = t_shaft.
-        let t_em = if t_shaft >= 0.0 {
-            t_shaft / (p.reduction_ratio * p.reduction_efficiency)
-        } else {
-            t_shaft * p.reduction_efficiency / p.reduction_ratio
-        };
-        self.check_motor_torque(t_em, w_em)?;
-        let p_em_elec = self.motor.electrical_power(t_em, w_em);
-        let p_batt = p_em_elec + control.p_aux_w;
+        if let Some(err) = pre.ev_torque_err {
+            return Err(err);
+        }
+        let t_em = pre.t_em_ev;
+        let p_batt = pre.p_em_elec_ev + control.p_aux_w;
         let i = self
             .battery
             .current_for_power(p_batt)
@@ -448,7 +877,7 @@ impl ParallelHev {
             ice_torque_nm: 0.0,
             ice_speed_rad_s: 0.0,
             em_torque_nm: t_em,
-            em_speed_rad_s: w_em,
+            em_speed_rad_s: pre.w_em,
             battery_current_a: i,
             battery_power_w: p_batt,
             p_aux_w: control.p_aux_w,
@@ -466,48 +895,47 @@ impl ParallelHev {
         })
     }
 
-    fn resolve_braking(
+    #[inline(always)]
+    fn complete_braking(
         &self,
         demand: &WheelDemand,
+        pre: &GearPre,
+        cur: &CurrentContext,
         control: &ControlInput,
-        dt: f64,
     ) -> Result<StepOutcome, InfeasibleControl> {
-        let gear = control.gear;
-        let w_em = self.drivetrain.em_speed(demand.wheel_speed_rad_s, gear);
-        self.check_motor_speed(w_em)?;
-        self.battery.check_current(control.battery_current_a)?;
+        if let Some(err) = pre.motor_speed_err {
+            return Err(err);
+        }
+        if let Some(err) = cur.current_err {
+            return Err(err);
+        }
 
         // Fuel cut: the engine is off. The commanded current expresses a
         // *regeneration intent*: the machine recovers as much as the
         // command asks for, clamped to what the braking demand and the
         // machine envelope admit; friction brakes absorb the remainder.
-        let p = self.drivetrain.params();
-        let t_shaft = self
-            .drivetrain
-            .required_shaft_torque(demand.wheel_torque_nm, gear);
-        // Regen torque that would cover the whole braking demand
-        // (α = −1 branch of Eq. 9).
-        let t_em_full = t_shaft * p.reduction_efficiency / p.reduction_ratio;
-        let regen_floor = t_em_full.max(self.motor.min_torque(w_em));
-
-        let p_batt_cmd = self.battery.terminal_power(control.battery_current_a);
+        let p_batt_cmd = cur.p_batt_w;
         let t_em_cmd = self
             .motor
-            .torque_from_electrical_power(p_batt_cmd - control.p_aux_w, w_em)
-            .unwrap_or(regen_floor);
-        let t_em = t_em_cmd.clamp(regen_floor, 0.0);
+            .torque_from_power_with_fixed_loss(
+                p_batt_cmd - control.p_aux_w,
+                pre.w_em,
+                pre.fixed_loss_w,
+            )
+            .unwrap_or(pre.regen_floor);
+        let t_em = t_em_cmd.clamp(pre.regen_floor, 0.0);
 
         // Re-derive the realized battery current from the clamped torque.
-        let p_batt = self.motor.electrical_power(t_em, w_em) + control.p_aux_w;
+        let p_batt = self.motor.electrical_power(t_em, pre.w_em) + control.p_aux_w;
         let i = self
             .battery
             .current_for_power(p_batt)
             .ok_or(InfeasibleControl::BatteryPower { power_w: p_batt })?;
         self.battery.check_current(i)?;
 
-        let t_wh_em = self.drivetrain.wheel_torque(0.0, t_em, gear);
+        let t_wh_em = self.drivetrain.wheel_torque(0.0, t_em, control.gear);
         let friction = (demand.wheel_torque_nm - t_wh_em).min(0.0);
-        let soc_after = self.battery.soc_after(i, dt);
+        let soc_after = self.battery.soc_after(i, cur.dt);
         self.check_window(soc_after)?;
         let mode = if t_em < -TORQUE_EPS {
             OperatingMode::RegenBraking
@@ -522,7 +950,7 @@ impl ParallelHev {
             ice_torque_nm: 0.0,
             ice_speed_rad_s: 0.0,
             em_torque_nm: t_em,
-            em_speed_rad_s: w_em,
+            em_speed_rad_s: pre.w_em,
             battery_current_a: i,
             battery_power_w: p_batt,
             p_aux_w: control.p_aux_w,

@@ -108,6 +108,53 @@ proptest! {
         prop_assert!((total - (inertia + resist)).abs() < 1e-9);
     }
 
+    /// The staged pipeline (context precompute + completion) is
+    /// bit-identical to the monolithic [`ParallelHev::peek`] — same
+    /// outcome on success, same infeasibility reason on failure — for
+    /// randomized demand, battery state, and control, across the
+    /// stopped/braking/propelling boundaries.
+    #[test]
+    fn staged_completion_matches_monolithic_peek(
+        v in 0.0f64..30.0,
+        // A second speed near the stop threshold (0.05 m/s) so every run
+        // also exercises the Stopped boundary.
+        v_near_stop in 0.0f64..0.12,
+        accel in -3.0f64..2.0,
+        i in -80.0f64..120.0,
+        gear in 0usize..6, // one past the last gear: invalid-gear parity too
+        p_aux in 0.0f64..2500.0,
+        soc in 0.41f64..0.79, // the model's charge-sustaining window
+    ) {
+        let hev = ParallelHev::new(HevParams::default_parallel_hev(), soc)
+            .expect("valid defaults");
+        for speed in [v, v_near_stop] {
+            let demand = hev.demand(speed, accel, 0.0);
+            let control = ControlInput { battery_current_a: i, gear, p_aux_w: p_aux };
+            let dt = 1.0;
+
+            let monolithic = hev.peek(&demand, &control, dt);
+
+            let ctx = hev.step_context(&demand);
+            let staged = hev.peek_with_context(&ctx, &control, dt);
+            prop_assert_eq!(&staged, &monolithic);
+
+            let cur = hev.current_context(i, dt);
+            let staged2 = hev.peek_with_contexts(&ctx, &cur, &control);
+            prop_assert_eq!(&staged2, &monolithic);
+
+            // Bit-identical, not just approximately equal: every f64
+            // field of a successful outcome matches to the bit.
+            if let (Ok(a), Ok(b)) = (&staged, &monolithic) {
+                prop_assert_eq!(a.soc_after.to_bits(), b.soc_after.to_bits());
+                prop_assert_eq!(a.fuel_g.to_bits(), b.fuel_g.to_bits());
+                prop_assert_eq!(a.battery_power_w.to_bits(), b.battery_power_w.to_bits());
+                prop_assert_eq!(a.em_torque_nm.to_bits(), b.em_torque_nm.to_bits());
+                prop_assert_eq!(a.ice_torque_nm.to_bits(), b.ice_torque_nm.to_bits());
+                prop_assert_eq!(a.aux_utility.to_bits(), b.aux_utility.to_bits());
+            }
+        }
+    }
+
     /// A committed step always reports soc_after equal to the vehicle's
     /// state, for any feasible action.
     #[test]

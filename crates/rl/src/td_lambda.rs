@@ -156,7 +156,7 @@ impl TdLambda {
         let delta = reward + self.config.gamma * bootstrap - self.q.get(s, a);
         self.traces.visit(s, a);
         self.q.visit(s, a);
-        for (ts, ta, e) in self.traces.iter().collect::<Vec<_>>() {
+        for (ts, ta, e) in self.traces.iter() {
             self.q.add(ts, ta, self.config.alpha * e * delta);
         }
         self.traces.decay(self.config.gamma * self.config.lambda);
