@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR]
-//!       [--bench-json PATH] [--bench-baseline PATH] <target>...
+//!       [--bench-json PATH] [--bench-baseline PATH]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...
 //!
 //! targets:
 //!   table1                  HEV key parameters
@@ -16,12 +17,19 @@
 //!   ablation-lambda         TD(lambda) sweep
 //!   ablation-weight         auxiliary weight sweep
 //!   ablation-predictor      EWMA vs MA vs Markov vs MLP
+//!   robustness              fault-severity degradation sweep (supervised)
 //!   all                     everything above
 //! ```
+//!
+//! `--checkpoint-dir` enables crash-tolerant training for the
+//! `robustness` target: each training run checkpoints its Q-table every
+//! `--checkpoint-every` episodes (default 25), and `--resume` picks up
+//! from existing checkpoint files bit-identically.
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
 use hev_bench::perf::{self, StepThroughputReport};
+use hev_bench::robustness::{self, CheckpointOptions};
 use hev_control::harness::{runlog, RunEvent, RunLog};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,6 +47,9 @@ fn main() -> ExitCode {
     let mut run_log: Option<String> = None;
     let mut bench_json: Option<PathBuf> = None;
     let mut bench_baseline: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: usize = 25;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +81,15 @@ fn main() -> ExitCode {
                 Some(path) => bench_baseline = Some(PathBuf::from(path)),
                 None => return usage("--bench-baseline needs a path"),
             },
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => checkpoint_dir = Some(PathBuf::from(dir)),
+                None => return usage("--checkpoint-dir needs a directory"),
+            },
+            "--checkpoint-every" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => checkpoint_every = n,
+                _ => return usage("--checkpoint-every needs a positive integer"),
+            },
+            "--resume" => resume = true,
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
@@ -93,17 +113,23 @@ fn main() -> ExitCode {
             "ablation-lambda",
             "ablation-weight",
             "ablation-predictor",
+            "robustness",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
-    if let Some(dir) = &csv_dir {
+    for dir in [&csv_dir, &checkpoint_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
+    let checkpoint = checkpoint_dir.map(|dir| CheckpointOptions {
+        dir,
+        every: checkpoint_every,
+        resume,
+    });
     if let Some(path) = &run_log {
         let sink = if path == "-" {
             RunLog::stderr()
@@ -147,6 +173,7 @@ fn main() -> ExitCode {
                 "A5: predictor comparison",
                 ablations::ablation_predictor(&cfg),
             ),
+            "robustness" => robustness_target(&cfg, csv_dir.as_deref(), checkpoint.as_ref()),
             other => return usage(&format!("unknown target {other}")),
         }
         runlog::emit(
@@ -220,13 +247,16 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
-         [--bench-json PATH] [--bench-baseline PATH] <target>...\n\
+         [--bench-json PATH] [--bench-baseline PATH] \
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
-         ablation-alpha ablation-lambda ablation-weight ablation-predictor all\n\
+         ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
          --run-log writes JSON-lines progress/timing to PATH ('-' = stderr).\n\
          --bench-json runs the single-threaded step-throughput workload and writes a\n\
-         machine-readable report; --bench-baseline compares against a previous report."
+         machine-readable report; --bench-baseline compares against a previous report.\n\
+         --checkpoint-dir enables crash-tolerant training for the robustness target\n\
+         (checkpoint every --checkpoint-every episodes; --resume restarts bit-identically)."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -442,6 +472,78 @@ fn learning_curve(cfg: &ExperimentConfig) {
     }
     rule(56);
     println!("(§4.3.2: the reduced action space should reach low fuel in fewer episodes)");
+}
+
+fn robustness_target(
+    cfg: &ExperimentConfig,
+    csv: Option<&std::path::Path>,
+    checkpoint: Option<&CheckpointOptions>,
+) {
+    let rows = robustness::robustness_with(cfg, &robustness::DEFAULT_SEVERITIES, checkpoint);
+    write_csv(
+        csv,
+        "robustness",
+        "severity,proposed_fuel_g,rule_fuel_g,proposed_utility,rule_utility,\
+         completed_runs,runs,decisions,rejections,myopic_rescues,rule_rescues,limp_home",
+        &rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    r.severity,
+                    r.proposed_fuel_g,
+                    r.rule_fuel_g,
+                    r.proposed_utility,
+                    r.rule_utility,
+                    r.completed_runs,
+                    r.runs,
+                    r.degradation.decisions,
+                    r.degradation.rejections(),
+                    r.degradation.myopic_rescues,
+                    r.degradation.rule_rescues,
+                    r.degradation.limp_home
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\n== Robustness: fault-severity degradation sweep on OSCAR \
+         ({} episodes, supervised proposed vs rule-based) ==",
+        cfg.episodes
+    );
+    rule(100);
+    println!(
+        "{:<9} {:>13} {:>13} {:>10} {:>10} {:>10} {:>11} {:>9} {:>9}",
+        "severity",
+        "prop fuel(g)",
+        "rule fuel(g)",
+        "prop util",
+        "rule util",
+        "completed",
+        "rejections",
+        "rescues",
+        "limp"
+    );
+    for r in &rows {
+        println!(
+            "{:<9.2} {:>13.1} {:>13.1} {:>10.3} {:>10.3} {:>7}/{:<2} {:>11} {:>9} {:>9}",
+            r.severity,
+            r.proposed_fuel_g,
+            r.rule_fuel_g,
+            r.proposed_utility,
+            r.rule_utility,
+            r.completed_runs,
+            r.runs,
+            r.degradation.rejections(),
+            r.degradation.myopic_rescues + r.degradation.rule_rescues,
+            r.degradation.limp_home
+        );
+    }
+    rule(100);
+    println!(
+        "(sensor + plant faults per FaultConfig::at_severity; the supervised controller must \
+         complete every faulted cycle)"
+    );
 }
 
 fn ablation(title: &str, rows: Vec<hev_bench::AblationRow>) {

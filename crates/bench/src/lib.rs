@@ -11,7 +11,9 @@
 pub mod ablations;
 pub mod experiments;
 pub mod perf;
+pub mod robustness;
 
 pub use ablations::AblationRow;
 pub use experiments::{ExperimentConfig, Fig2Row, Fig3Row, Table1Row, Table2Row};
 pub use perf::{StepThroughputReport, ThroughputSample, Workload};
+pub use robustness::RobustnessRow;

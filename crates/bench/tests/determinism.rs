@@ -10,7 +10,8 @@
 use drive_cycle::StandardCycle;
 use hev_bench::experiments::{self, corrected_fuel_g, ExperimentConfig};
 use hev_control::{
-    ControllerSnapshot, Harness, JointController, JointControllerConfig, SeedSequence,
+    simulate_with_faults, ControllerSnapshot, EpisodeMetrics, FaultConfig, FaultPlan, Harness,
+    JointController, JointControllerConfig, RewardConfig, SeedSequence, SupervisedPolicy,
 };
 
 /// A budget small enough for CI but large enough that training leaves
@@ -66,6 +67,60 @@ fn train_eval_runs_identical_across_worker_counts() {
         );
     }
     assert_eq!(serial.len(), 3);
+}
+
+/// Trains tiny controllers and evaluates them supervised under seeded
+/// fault plans, fanned across `jobs` workers.
+fn faulted_evaluations(jobs: usize) -> Vec<EpisodeMetrics> {
+    let cycle = StandardCycle::Oscar.cycle();
+    Harness::new(jobs).run_seeded("fault-determinism", 2015, 4, |k, seed| {
+        let mut cfg = JointControllerConfig::proposed();
+        cfg.seed = seed;
+        let mut hev = experiments::fresh_hev(cfg.initial_soc);
+        let mut agent = JointController::new(cfg);
+        agent.train(&mut hev, &cycle, 2);
+        agent.set_training(false);
+        let mut supervised = SupervisedPolicy::new(agent);
+        let mut plan = FaultPlan::from_sequence(
+            FaultConfig::at_severity(1.0),
+            &SeedSequence::new(7),
+            k as u64,
+        );
+        let mut faulted_hev = experiments::fresh_hev(0.6);
+        plan.degrade_plant(&mut faulted_hev);
+        simulate_with_faults(
+            &mut faulted_hev,
+            &cycle,
+            &mut supervised,
+            &RewardConfig::default(),
+            Some(&mut plan),
+        )
+    })
+}
+
+/// The fault path inherits the harness's any-worker-count determinism:
+/// a seeded `FaultPlan` yields bit-identical faulted metrics (and
+/// degradation reports) at every `--jobs` value.
+#[test]
+fn faulted_evaluations_identical_across_worker_counts() {
+    let serial = faulted_evaluations(1);
+    for jobs in [2, 8] {
+        assert_eq!(
+            serial,
+            faulted_evaluations(jobs),
+            "faulted metrics diverged between 1 and {jobs} workers"
+        );
+    }
+    // The faults actually bit: every run carries a degradation report
+    // over the full cycle.
+    let cycle_len = StandardCycle::Oscar.cycle().len();
+    for m in &serial {
+        assert_eq!(m.steps, cycle_len);
+        assert_eq!(
+            m.degradation.expect("supervised report").decisions,
+            cycle_len
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Crash-tolerant training: Q-table checkpointing and bit-identical
+//! resume.
+//!
+//! Training a tabular controller for hundreds of episodes is the longest
+//! single computation in the reproduction; a crash (or a deliberately
+//! injected panic — see [`crate::harness::Harness::run_caught`]) should
+//! not force a restart from scratch. A [`ControllerSnapshot`] taken at an
+//! episode boundary is the controller's *complete* state — Q-table,
+//! traces, visit counts, exploration rate, and exploration-RNG state; the
+//! predictor resets every episode — so resuming from one replays the
+//! remaining episodes **bit-for-bit**: the resumed run's final snapshot
+//! equals the uninterrupted run's (enforced by
+//! `resumed_training_is_bit_identical`).
+//!
+//! [`TrainCheckpoint`] pairs such a snapshot with the number of episodes
+//! already completed and round-trips through JSON on disk (written
+//! atomically: temp file + rename). [`train_portfolio_checkpointed`] is
+//! the resumable counterpart of
+//! [`JointController::train_portfolio`][crate::JointController::train_portfolio],
+//! with the identical episode↔cycle ordering (episode `e` trains on
+//! `cycles[e % cycles.len()]`).
+
+use crate::controller::{ControllerSnapshot, JointController, JointControllerConfig};
+use crate::metrics::EpisodeMetrics;
+use drive_cycle::DriveCycle;
+use hev_model::ParallelHev;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A resumable training checkpoint: how many episodes are done, plus the
+/// controller's complete episode-boundary state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Episodes completed before this checkpoint was taken.
+    pub episodes_done: usize,
+    /// The controller's state at that episode boundary.
+    pub snapshot: ControllerSnapshot,
+}
+
+impl TrainCheckpoint {
+    /// Captures a checkpoint of a controller at an episode boundary.
+    pub fn capture(episodes_done: usize, agent: &JointController) -> Self {
+        Self {
+            episodes_done,
+            snapshot: agent.snapshot(),
+        }
+    }
+
+    /// Serializes the checkpoint to JSON and writes it atomically (temp
+    /// file in the same directory, then rename), so a crash mid-write
+    /// never leaves a truncated checkpoint behind.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from a JSON file written by
+    /// [`TrainCheckpoint::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Where and how often [`train_portfolio_checkpointed`] checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (one file, overwritten atomically).
+    pub path: PathBuf,
+    /// Checkpoint every this many episodes (and always at the end).
+    pub every: usize,
+    /// Resume from `path` if it exists (otherwise start fresh).
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// A spec checkpointing to `path` every `every` episodes, resuming
+    /// from an existing checkpoint file.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            path: path.into(),
+            every: every.max(1),
+            resume: true,
+        }
+    }
+}
+
+/// Portfolio training with optional checkpoint/resume.
+///
+/// Without a spec this is exactly
+/// [`JointController::train_portfolio`][crate::JointController::train_portfolio]
+/// driven episode-by-episode: episode `e` trains on
+/// `cycles[e % cycles.len()]` until `episodes` episodes are done. With a
+/// spec, the checkpoint file is saved every `spec.every` episodes (and at
+/// the end), and — when `spec.resume` is set and the file exists —
+/// training picks up from the recorded episode count instead of zero.
+///
+/// Returns the trained controller and the metrics of the episodes run *by
+/// this invocation* (a resumed run returns only the remaining episodes).
+pub fn train_portfolio_checkpointed(
+    config: JointControllerConfig,
+    hev: &mut ParallelHev,
+    cycles: &[DriveCycle],
+    episodes: usize,
+    spec: Option<&CheckpointSpec>,
+) -> io::Result<(JointController, Vec<EpisodeMetrics>)> {
+    assert!(!cycles.is_empty(), "portfolio must contain a cycle");
+    let (mut agent, start) = match spec {
+        Some(s) if s.resume && s.path.exists() => {
+            let ckpt = TrainCheckpoint::load(&s.path)?;
+            (
+                JointController::from_snapshot(ckpt.snapshot),
+                ckpt.episodes_done,
+            )
+        }
+        _ => (JointController::new(config), 0),
+    };
+    agent.set_training(true);
+    let mut metrics = Vec::with_capacity(episodes.saturating_sub(start));
+    for e in start..episodes {
+        let cycle = &cycles[e % cycles.len()];
+        metrics.push(agent.train_episode(hev, cycle));
+        if let Some(s) = spec {
+            let done = e + 1;
+            if done % s.every == 0 || done == episodes {
+                TrainCheckpoint::capture(done, &agent).save(&s.path)?;
+            }
+        }
+    }
+    Ok((agent, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drive_cycle::ProfileBuilder;
+    use hev_model::HevParams;
+
+    fn hev() -> ParallelHev {
+        ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap()
+    }
+
+    fn cycles() -> Vec<DriveCycle> {
+        vec![
+            ProfileBuilder::new("a")
+                .idle(2.0)
+                .trip(35.0, 8.0, 12.0, 7.0, 3.0)
+                .build()
+                .unwrap(),
+            ProfileBuilder::new("b")
+                .idle(2.0)
+                .trip(50.0, 10.0, 15.0, 9.0, 4.0)
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    fn config() -> JointControllerConfig {
+        let mut c = JointControllerConfig::proposed();
+        c.state = crate::state::StateSpaceConfig {
+            power_demand: hev_rl::UniformGrid::new(-30_000.0, 50_000.0, 6),
+            speed: hev_rl::UniformGrid::new(0.0, 30.0, 5),
+            charge: hev_rl::UniformGrid::new(0.4, 0.8, 5),
+            prediction: Some(hev_rl::UniformGrid::new(-15_000.0, 30_000.0, 3)),
+        };
+        c
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hev_ckpt_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let mut plant = hev();
+        let cs = cycles();
+        let (agent, _) = train_portfolio_checkpointed(config(), &mut plant, &cs, 4, None).unwrap();
+        let ckpt = TrainCheckpoint::capture(4, &agent);
+        let path = tmp_path("roundtrip");
+        ckpt.save(&path).unwrap();
+        let loaded = TrainCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+    }
+
+    #[test]
+    fn resumed_training_is_bit_identical() {
+        // Uninterrupted run: 10 episodes straight through.
+        let mut plant = hev();
+        let cs = cycles();
+        let (reference, _) =
+            train_portfolio_checkpointed(config(), &mut plant, &cs, 10, None).unwrap();
+
+        // Crashed run: checkpoint every 3 episodes, "crash" after 6, then
+        // resume from disk with a brand-new controller.
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let spec = CheckpointSpec::new(&path, 3);
+        let mut plant2 = hev();
+        let _ = train_portfolio_checkpointed(config(), &mut plant2, &cs, 6, Some(&spec)).unwrap();
+        let mut plant3 = hev();
+        let (resumed, tail) =
+            train_portfolio_checkpointed(config(), &mut plant3, &cs, 10, Some(&spec)).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        // The resumed invocation ran only the remaining 4 episodes, and
+        // its final state matches the uninterrupted run bit-for-bit.
+        assert_eq!(tail.len(), 4);
+        assert_eq!(resumed.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn fresh_run_ignores_missing_checkpoint_file() {
+        let path = tmp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let spec = CheckpointSpec::new(&path, 2);
+        let mut plant = hev();
+        let cs = cycles();
+        let (_, metrics) =
+            train_portfolio_checkpointed(config(), &mut plant, &cs, 3, Some(&spec)).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert!(path.exists(), "final checkpoint always written");
+        let ckpt = TrainCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(ckpt.episodes_done, 3);
+    }
+}

@@ -12,7 +12,7 @@ use crate::action::ActionSpace;
 use crate::inner_opt::{InnerOptimizer, ResolvedAction};
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
-use crate::sim::{fallback_control, simulate, HevPolicy, Observation};
+use crate::sim::{fallback_control, simulate, ControlError, HevPolicy, Observation};
 use crate::state::{StateSample, StateSpace, StateSpaceConfig};
 use drive_cycle::DriveCycle;
 use hev_model::{ControlInput, ParallelHev, StepOutcome};
@@ -144,6 +144,36 @@ pub struct JointController<P: Predictor = Ewma> {
     awaiting_reward: Option<(usize, usize)>,
     /// Reusable per-step buffers (not part of the learned state).
     scratch: StepScratch,
+    /// The most recent action-decoding failure, taken (and cleared) by
+    /// [`HevPolicy::take_control_error`]. A malformed full-space action
+    /// degrades gracefully — masked infeasible / skipped / fallen back —
+    /// instead of panicking mid-episode.
+    last_error: Option<ControlError>,
+}
+
+/// Decodes a full-space action into a complete [`ControlInput`],
+/// recording a typed [`ControlError`] in `slot` (and returning `None`)
+/// when the decoded action is missing its gear or auxiliary-power
+/// command.
+fn decode_full_action(
+    space: &ActionSpace,
+    action: usize,
+    slot: &mut Option<ControlError>,
+) -> Option<ControlInput> {
+    let c = space.decode(action);
+    let Some(gear) = c.gear else {
+        *slot = Some(ControlError::MissingGear { action });
+        return None;
+    };
+    let Some(p_aux_w) = c.p_aux_w else {
+        *slot = Some(ControlError::MissingAux { action });
+        return None;
+    };
+    Some(ControlInput {
+        battery_current_a: c.battery_current_a,
+        gear,
+        p_aux_w,
+    })
 }
 
 /// Reusable per-step working memory: the feasibility mask and the
@@ -176,9 +206,12 @@ impl StepScratch {
 }
 
 /// A serializable checkpoint of a trained controller: configuration,
-/// learned Q-table (with traces and visit counts), and the exploration
-/// state. Predictor state is not saved — predictors reset at each episode
-/// boundary anyway.
+/// learned Q-table (with traces and visit counts), the exploration
+/// state, and the exploration RNG state. Predictor state is not saved —
+/// predictors reset at each episode boundary anyway, so a snapshot taken
+/// at an episode boundary is the controller's *complete* state: resuming
+/// from it replays the remaining training bit-for-bit (see
+/// [`crate::checkpoint`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerSnapshot {
     /// The controller configuration.
@@ -187,6 +220,8 @@ pub struct ControllerSnapshot {
     pub learner: TdLambda,
     /// The exploration rate at checkpoint time.
     pub epsilon: f64,
+    /// The exploration RNG's internal state (xoshiro256++ words).
+    pub rng_state: [u64; 4],
 }
 
 impl JointController<Ewma> {
@@ -197,7 +232,7 @@ impl JointController<Ewma> {
     }
 
     /// Restores a controller from a [`ControllerSnapshot`], resuming with
-    /// the checkpointed exploration rate.
+    /// the checkpointed exploration rate and RNG state.
     pub fn from_snapshot(snapshot: ControllerSnapshot) -> Self {
         let mut restored = Self::new(snapshot.config);
         restored.learner = snapshot.learner;
@@ -206,6 +241,7 @@ impl JointController<Ewma> {
             restored.config.epsilon_decay,
             restored.config.epsilon_floor.min(snapshot.epsilon),
         );
+        restored.rng = StdRng::from_state(snapshot.rng_state);
         restored
     }
 }
@@ -229,6 +265,7 @@ impl<P: Predictor> JointController<P> {
             pending: None,
             awaiting_reward: None,
             scratch: StepScratch::default(),
+            last_error: None,
         }
     }
 
@@ -266,7 +303,21 @@ impl<P: Predictor> JointController<P> {
             config: self.config.clone(),
             learner: self.learner.clone(),
             epsilon: self.policy.epsilon(),
+            rng_state: self.rng.state(),
         }
+    }
+
+    /// Trains a single episode on a cycle — the unit step of
+    /// [`JointController::train`] and
+    /// [`JointController::train_portfolio`], exposed so checkpointed
+    /// drivers ([`crate::checkpoint`]) can interleave episodes with
+    /// snapshots. Resets the battery to the configured initial state of
+    /// charge first.
+    pub fn train_episode(&mut self, hev: &mut ParallelHev, cycle: &DriveCycle) -> EpisodeMetrics {
+        self.training = true;
+        hev.reset_soc(self.config.initial_soc);
+        let reward = self.config.reward;
+        simulate(hev, cycle, self, &reward)
     }
 
     /// Trains for `episodes` episodes on a cycle, resetting the battery
@@ -278,13 +329,8 @@ impl<P: Predictor> JointController<P> {
         cycle: &DriveCycle,
         episodes: usize,
     ) -> Vec<EpisodeMetrics> {
-        self.training = true;
-        let reward = self.config.reward;
         (0..episodes)
-            .map(|_| {
-                hev.reset_soc(self.config.initial_soc);
-                simulate(hev, cycle, self, &reward)
-            })
+            .map(|_| self.train_episode(hev, cycle))
             .collect()
     }
 
@@ -296,13 +342,10 @@ impl<P: Predictor> JointController<P> {
         cycles: &[DriveCycle],
         rounds: usize,
     ) -> Vec<EpisodeMetrics> {
-        self.training = true;
-        let reward = self.config.reward;
         let mut out = Vec::with_capacity(rounds * cycles.len());
         for _ in 0..rounds {
             for cycle in cycles {
-                hev.reset_soc(self.config.initial_soc);
-                out.push(simulate(hev, cycle, self, &reward));
+                out.push(self.train_episode(hev, cycle));
             }
         }
         out
@@ -344,13 +387,11 @@ impl<P: Predictor> JointController<P> {
             }
             full @ ActionSpace::Full { .. } => {
                 for idx in 0..self.scratch.mask.len() {
-                    let c = full.decode(idx);
-                    let control = ControlInput {
-                        battery_current_a: c.battery_current_a,
-                        gear: c.gear.expect("full action has a gear"),
-                        p_aux_w: c.p_aux_w.expect("full action has an aux power"),
-                    };
-                    self.scratch.mask[idx] = hev.peek_with_context(obs.ctx, &control, dt).is_ok();
+                    // A malformed action is simply masked infeasible.
+                    self.scratch.mask[idx] = decode_full_action(full, idx, &mut self.last_error)
+                        .is_some_and(|control| {
+                            hev.peek_with_context(obs.ctx, &control, dt).is_ok()
+                        });
                 }
             }
         }
@@ -397,15 +438,14 @@ impl<P: Predictor> JointController<P> {
                 self.resolve_cached(hev, obs, idx, current)
                     .map(|r| r.reward)
             } else {
-                let c = self.config.action.decode(idx);
-                let control = ControlInput {
-                    battery_current_a: c.battery_current_a,
-                    gear: c.gear.expect("full action has a gear"),
-                    p_aux_w: c.p_aux_w.expect("full action has an aux power"),
-                };
-                hev.peek_with_context(obs.ctx, &control, dt)
-                    .ok()
-                    .map(|o| self.config.reward.reward(&o))
+                // A malformed action scores no reward (skipped).
+                decode_full_action(&self.config.action, idx, &mut self.last_error).and_then(
+                    |control| {
+                        hev.peek_with_context(obs.ctx, &control, dt)
+                            .ok()
+                            .map(|o| self.config.reward.reward(&o))
+                    },
+                )
             };
             if let Some(r) = reward {
                 if best.is_none_or(|(_, br)| r > br) {
@@ -427,12 +467,8 @@ impl<P: Predictor> JointController<P> {
             self.resolve_cached(hev, obs, action, current)
                 .map(|r| r.control)
         } else {
-            let c = self.config.action.decode(action);
-            Some(ControlInput {
-                battery_current_a: c.battery_current_a,
-                gear: c.gear.expect("full action has a gear"),
-                p_aux_w: c.p_aux_w.expect("full action has an aux power"),
-            })
+            // `None` sends `decide` down its existing fallback path.
+            decode_full_action(&self.config.action, action, &mut self.last_error)
         }
     }
 }
@@ -441,7 +477,12 @@ impl<P: Predictor> HevPolicy for JointController<P> {
     fn begin_episode(&mut self) {
         self.pending = None;
         self.awaiting_reward = None;
+        self.last_error = None;
         self.predictor.reset();
+    }
+
+    fn take_control_error(&mut self) -> Option<ControlError> {
+        self.last_error.take()
     }
 
     fn decide(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> ControlInput {
@@ -683,6 +724,35 @@ mod tests {
         let mut restored = JointController::from_snapshot(agent.snapshot());
         restored.train(&mut hev, &cycle, 10);
         assert!(restored.learner().q().coverage() >= coverage_before);
+    }
+
+    #[test]
+    fn malformed_action_records_typed_error_instead_of_panicking() {
+        // A reduced-space decode reaching the full-control path used to
+        // hit `expect("full action has a gear")`; it now records a typed
+        // `ControlError` and degrades gracefully.
+        let mut slot = None;
+        let control = decode_full_action(&ActionSpace::reduced(), 3, &mut slot);
+        assert_eq!(control, None);
+        assert_eq!(slot, Some(ControlError::MissingGear { action: 3 }));
+        assert!(slot.unwrap().to_string().contains("without a gear"));
+        // A well-formed full space decodes cleanly and records nothing.
+        let mut slot = None;
+        let full = ActionSpace::full(3, vec![100.0, 600.0]);
+        let control = decode_full_action(&full, 2, &mut slot);
+        assert!(control.is_some());
+        assert_eq!(slot, None);
+    }
+
+    #[test]
+    fn take_control_error_clears_the_slot() {
+        let mut agent = JointController::new(quick_config());
+        agent.last_error = Some(ControlError::MissingAux { action: 1 });
+        assert_eq!(
+            agent.take_control_error(),
+            Some(ControlError::MissingAux { action: 1 })
+        );
+        assert_eq!(agent.take_control_error(), None);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! [split seed](crate::harness::split_seed).
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -28,7 +29,8 @@ pub fn default_jobs() -> usize {
 /// `jobs` is clamped to `[1, inputs.len()]`; with one worker (or one
 /// input) the tasks run inline on the caller's thread. A panicking task
 /// aborts the whole batch: remaining tasks may be skipped and the panic
-/// resurfaces on the caller after all workers have stopped.
+/// resurfaces on the caller after all workers have stopped. Batches that
+/// must survive a bad task use [`run_indexed_caught`] instead.
 pub fn run_indexed<T, R, F>(jobs: usize, inputs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -74,6 +76,93 @@ where
                 .expect("worker exited without storing a result")
         })
         .collect()
+}
+
+/// How a single caught task ended: its result, or the message of the
+/// panic that killed it.
+///
+/// Produced by [`run_indexed_caught`]; the vector it returns stays in
+/// task order, so a panicked task leaves a typed hole rather than
+/// shifting its neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome<R> {
+    /// The task completed and produced a result.
+    Ok(R),
+    /// The task panicked; the batch kept going without it.
+    Panicked {
+        /// The panic payload rendered as text (`"non-string panic
+        /// payload"` when the payload was neither `&str` nor `String`).
+        message: String,
+    },
+}
+
+impl<R> RunOutcome<R> {
+    /// The result, or `None` if the task panicked.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            Self::Ok(r) => Some(r),
+            Self::Panicked { .. } => None,
+        }
+    }
+
+    /// A reference to the result, or `None` if the task panicked.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            Self::Ok(r) => Some(r),
+            Self::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the task panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, Self::Panicked { .. })
+    }
+
+    /// The panic message, or `None` if the task completed.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            Self::Ok(_) => None,
+            Self::Panicked { message } => Some(message),
+        }
+    }
+}
+
+/// Renders a panic payload as text. `panic!` with a literal carries a
+/// `&str`, formatted panics carry a `String`; anything else is opaque.
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_indexed`] with per-task panic isolation: a panicking task is
+/// caught on its worker and recorded as [`RunOutcome::Panicked`] while
+/// every other task runs to completion and keeps its slot.
+///
+/// Because each input is moved into exactly one task and both the input
+/// and any partially-built state are discarded on unwind, the closure is
+/// re-entered only for *other* tasks' inputs — no broken invariant can
+/// leak between tasks, which is what makes the `AssertUnwindSafe` below
+/// sound. Surviving tasks' results are bit-identical to a batch that
+/// never contained the panicking task (same inputs, same slots).
+pub fn run_indexed_caught<T, R, F>(jobs: usize, inputs: Vec<T>, f: F) -> Vec<RunOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_indexed(jobs, inputs, |i, input| {
+        match catch_unwind(AssertUnwindSafe(|| f(i, input))) {
+            Ok(r) => RunOutcome::Ok(r),
+            Err(payload) => RunOutcome::Panicked {
+                message: panic_payload_message(payload.as_ref()),
+            },
+        }
+    })
 }
 
 #[cfg(test)]
@@ -127,5 +216,58 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn caught_batch_survives_a_panicking_task() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed_caught(jobs, (0..16u64).collect(), |_, x| {
+                assert!(x != 5, "task 5 exploded");
+                x * 3
+            });
+            assert_eq!(out.len(), 16);
+            for (i, outcome) in out.iter().enumerate() {
+                if i == 5 {
+                    let msg = outcome.panic_message().unwrap();
+                    assert!(msg.contains("task 5 exploded"), "msg {msg}");
+                } else {
+                    assert_eq!(outcome.as_ok(), Some(&(i as u64 * 3)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caught_survivors_match_batch_without_bad_task() {
+        let compute = |_: usize, seed: u64| -> u64 {
+            assert!(seed != 999, "poison");
+            seed.wrapping_mul(6364136223846793005)
+        };
+        let clean: Vec<u64> = run_indexed_caught(4, vec![1, 2, 3, 4], compute)
+            .into_iter()
+            .map(|o| o.ok().unwrap())
+            .collect();
+        let with_bad = run_indexed_caught(4, vec![1, 2, 999, 3, 4], compute);
+        let survivors: Vec<u64> = with_bad.into_iter().filter_map(RunOutcome::ok).collect();
+        assert_eq!(survivors, clean);
+    }
+
+    #[test]
+    fn caught_all_ok_matches_uncaught() {
+        let compute = |i: usize, x: u32| x + i as u32;
+        let plain = run_indexed(3, (0..20u32).collect(), compute);
+        let caught: Vec<u32> = run_indexed_caught(3, (0..20u32).collect(), compute)
+            .into_iter()
+            .map(|o| o.ok().unwrap())
+            .collect();
+        assert_eq!(plain, caught);
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_labelled() {
+        let out = run_indexed_caught(1, vec![0u8], |_, _| -> u8 {
+            std::panic::panic_any(42i32);
+        });
+        assert_eq!(out[0].panic_message(), Some("non-string panic payload"));
     }
 }

@@ -10,6 +10,19 @@
 //! The sink is installed process-globally (like a logger) so deep call
 //! sites — the executor fanning out training runs — can report without
 //! threading a handle through every experiment signature.
+//!
+//! # Schema
+//!
+//! **v2** (this version). Event kinds: `batch_start`, `run_start`,
+//! `run_end`, `batch_end`, `target_start`, `target_end`, and — new in
+//! v2 — `run_panic` (a caught task died; `error` carries the panic
+//! message) and `run_retry` (the task is being re-attempted with the
+//! derived seed in `seed`). v2 also adds the always-present `error`
+//! field (`null` except on `run_panic`). The change is purely additive:
+//! v1 consumers that read the v1 fields — such as the CI determinism
+//! diff, which drops `elapsed_s` and compares the rest — keep working
+//! untouched, because batches without panics emit no v2 kinds and
+//! `error` is `null` everywhere they look.
 
 use serde::Serialize;
 use std::io::Write;
@@ -20,7 +33,8 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunEvent {
     /// Event kind: `batch_start`, `run_start`, `run_end`, `batch_end`,
-    /// `target_start`, `target_end`.
+    /// `target_start`, `target_end`, `run_panic`, `run_retry` (see the
+    /// module docs for the schema history).
     pub event: String,
     /// Human-readable task label (e.g. `fig2/UDDS/with/run1`).
     pub label: String,
@@ -34,6 +48,8 @@ pub struct RunEvent {
     pub jobs: Option<u64>,
     /// Wall-clock duration, seconds. The only nondeterministic field.
     pub elapsed_s: Option<f64>,
+    /// Panic message of a `run_panic` event; `null` otherwise.
+    pub error: Option<String>,
 }
 
 impl RunEvent {
@@ -47,6 +63,7 @@ impl RunEvent {
             seed: None,
             jobs: None,
             elapsed_s: None,
+            error: None,
         }
     }
 
@@ -77,6 +94,12 @@ impl RunEvent {
     /// Sets the elapsed wall-clock time.
     pub fn elapsed(mut self, since: Instant) -> Self {
         self.elapsed_s = Some(since.elapsed().as_secs_f64());
+        self
+    }
+
+    /// Sets the error message (used by `run_panic` events).
+    pub fn error(mut self, message: impl Into<String>) -> Self {
+        self.error = Some(message.into());
         self
     }
 }
@@ -183,6 +206,20 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("\"elapsed_s\":null"));
         assert!(json.contains("\"index\":2"));
+    }
+
+    #[test]
+    fn run_panic_event_carries_error() {
+        let e = RunEvent::new("run_panic", "t/run2")
+            .index(2)
+            .seed(7)
+            .error("boom");
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"event\":\"run_panic\""));
+        assert!(json.contains("\"error\":\"boom\""));
+        // v1 events keep the field, as null, so v1 consumers see no change.
+        let v1 = serde_json::to_string(&RunEvent::new("run_end", "x")).unwrap();
+        assert!(v1.contains("\"error\":null"));
     }
 
     #[test]

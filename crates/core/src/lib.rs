@@ -57,7 +57,9 @@
 pub mod action;
 pub mod analysis;
 pub mod baseline;
+pub mod checkpoint;
 pub mod controller;
+pub mod fault;
 pub mod harness;
 pub mod inner_opt;
 pub mod metrics;
@@ -65,6 +67,7 @@ pub mod policy_export;
 pub mod reward;
 pub mod sim;
 pub mod state;
+pub mod supervisor;
 
 pub use action::{default_currents, ActionChoice, ActionSpace};
 pub use analysis::{EnergyAudit, Recorder, TracePoint};
@@ -72,11 +75,18 @@ pub use baseline::{
     solve_dp, CdCsConfig, CdCsController, DpConfig, DpPolicy, DpSolution, EcmsConfig,
     EcmsController, RuleBasedConfig, RuleBasedController,
 };
+pub use checkpoint::{train_portfolio_checkpointed, CheckpointSpec, TrainCheckpoint};
 pub use controller::{ControllerSnapshot, JointController, JointControllerConfig};
-pub use harness::{split_seed, Harness, RunEvent, RunLog, RunSpec, SeedSequence};
+pub use fault::{FaultConfig, FaultPlan};
+pub use harness::{
+    split_seed, Harness, RunEvent, RunLog, RunOutcome, RunSpec, SeedSequence, RETRY_SEED_TAG,
+};
 pub use inner_opt::{InnerOptimizer, ResolvedAction};
-pub use metrics::{mode_index, EpisodeMetrics, MetricsSummary, StatSummary};
+pub use metrics::{mode_index, DegradationReport, EpisodeMetrics, MetricsSummary, StatSummary};
 pub use policy_export::PolicyTable;
 pub use reward::RewardConfig;
-pub use sim::{fallback_control, simulate, HevPolicy, Observation};
+pub use sim::{
+    fallback_control, simulate, simulate_with_faults, ControlError, HevPolicy, Observation,
+};
 pub use state::{StateSample, StateSpace, StateSpaceConfig};
+pub use supervisor::{SupervisedPolicy, SupervisorConfig};

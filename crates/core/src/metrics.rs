@@ -7,6 +7,61 @@ use serde::{Deserialize, Serialize};
 /// Meters per mile.
 const M_PER_MILE: f64 = 1_609.344;
 
+/// Per-episode accounting of supervisor interventions: how often the
+/// wrapped policy's decision was rejected and which tier of the fallback
+/// chain (policy → myopic argmax → rule-based → limp-home) produced the
+/// control that actually drove the plant.
+///
+/// Recorded by `hev_control::supervisor::SupervisedPolicy` and attached
+/// to [`EpisodeMetrics::degradation`]; `None` there means the episode ran
+/// unsupervised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Supervised `decide` calls this episode.
+    pub decisions: usize,
+    /// Decisions rejected because the control failed the step's
+    /// feasibility check.
+    pub infeasible: usize,
+    /// Decisions rejected because a control field was non-finite.
+    pub non_finite: usize,
+    /// Typed control errors (`ControlError`) the wrapped policy reported
+    /// while deciding.
+    pub control_errors: usize,
+    /// Rejections recovered by the myopic-argmax tier.
+    pub myopic_rescues: usize,
+    /// Rejections recovered by the rule-based tier.
+    pub rule_rescues: usize,
+    /// Rejections that fell all the way through to the limp-home search.
+    pub limp_home: usize,
+}
+
+impl DegradationReport {
+    /// Decisions the supervisor rejected (and thus had to replace).
+    pub fn rejections(&self) -> usize {
+        self.infeasible + self.non_finite
+    }
+
+    /// Fallback activations: controls supplied by any tier below the
+    /// wrapped policy.
+    pub fn fallback_activations(&self) -> usize {
+        self.myopic_rescues + self.rule_rescues + self.limp_home
+    }
+
+    /// Element-wise sum (aggregation across episodes or runs).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            decisions: self.decisions + other.decisions,
+            infeasible: self.infeasible + other.infeasible,
+            non_finite: self.non_finite + other.non_finite,
+            control_errors: self.control_errors + other.control_errors,
+            myopic_rescues: self.myopic_rescues + other.myopic_rescues,
+            rule_rescues: self.rule_rescues + other.rule_rescues,
+            limp_home: self.limp_home + other.limp_home,
+        }
+    }
+}
+
 /// Accumulated results of one simulated driving cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpisodeMetrics {
@@ -35,6 +90,9 @@ pub struct EpisodeMetrics {
     /// be clipped to the powertrain's capability (a "trace miss" in
     /// backward-looking-simulator terms).
     pub trace_miss_steps: usize,
+    /// Supervisor intervention accounting, when the episode ran under a
+    /// `SupervisedPolicy`; `None` for unsupervised episodes.
+    pub degradation: Option<DegradationReport>,
 }
 
 /// Index of an operating mode in [`EpisodeMetrics::mode_counts`].
@@ -64,6 +122,7 @@ impl EpisodeMetrics {
             mode_counts: [0; 7],
             fallback_steps: 0,
             trace_miss_steps: 0,
+            degradation: None,
         }
     }
 
@@ -455,6 +514,24 @@ mod tests {
         // Empty sides are identities.
         assert_eq!(whole.merge(&StatSummary::new()).count, whole.count);
         assert_eq!(StatSummary::new().merge(&whole).count, whole.count);
+    }
+
+    #[test]
+    fn degradation_report_arithmetic() {
+        let a = DegradationReport {
+            decisions: 10,
+            infeasible: 2,
+            non_finite: 1,
+            control_errors: 1,
+            myopic_rescues: 2,
+            rule_rescues: 1,
+            limp_home: 0,
+        };
+        assert_eq!(a.rejections(), 3);
+        assert_eq!(a.fallback_activations(), 3);
+        let doubled = a.merged(&a);
+        assert_eq!(doubled.decisions, 20);
+        assert_eq!(doubled.rejections(), 6);
     }
 
     #[test]

@@ -1,10 +1,52 @@
 //! The episodic simulation harness (the paper's backward-looking control
 //! flow, §2.2).
 
-use crate::metrics::EpisodeMetrics;
+use crate::fault::FaultPlan;
+use crate::metrics::{DegradationReport, EpisodeMetrics};
 use crate::reward::RewardConfig;
 use drive_cycle::DriveCycle;
 use hev_model::{ControlInput, ParallelHev, StepContext, StepOutcome, WheelDemand};
+
+/// A typed controller-internal failure while producing a control.
+///
+/// Controllers record these instead of panicking mid-episode (they used
+/// to be `expect`s); the supervisor collects them via
+/// [`HevPolicy::take_control_error`] and counts them in the episode's
+/// [`DegradationReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlError {
+    /// A full-space action decoded without a gear command.
+    MissingGear {
+        /// The offending action index.
+        action: usize,
+    },
+    /// A full-space action decoded without an auxiliary-power command.
+    MissingAux {
+        /// The offending action index.
+        action: usize,
+    },
+    /// A decided control carried a non-finite field.
+    NonFinite {
+        /// Which field was non-finite.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingGear { action } => {
+                write!(f, "full-space action {action} decoded without a gear")
+            }
+            Self::MissingAux { action } => {
+                write!(f, "full-space action {action} decoded without an aux power")
+            }
+            Self::NonFinite { field } => write!(f, "control field {field} is non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
 
 /// What a controller observes before deciding (§4.3.1: all quantities are
 /// available from online measurement; the charge via Coulomb counting).
@@ -48,6 +90,20 @@ pub trait HevPolicy {
 
     /// Called once after each episode.
     fn end_episode(&mut self) {}
+
+    /// Takes (and clears) the most recent [`ControlError`] the controller
+    /// recorded while deciding, if any. Default: controllers report none.
+    fn take_control_error(&mut self) -> Option<ControlError> {
+        None
+    }
+
+    /// The supervisor-intervention report accumulated over the current
+    /// episode, if this policy tracks one (see
+    /// `hev_control::supervisor::SupervisedPolicy`). The simulation loop
+    /// attaches it to [`EpisodeMetrics::degradation`] at episode end.
+    fn degradation(&self) -> Option<DegradationReport> {
+        None
+    }
 }
 
 /// Searches for any feasible control for the current demand: a coarse
@@ -128,24 +184,63 @@ pub fn simulate(
     controller: &mut dyn HevPolicy,
     reward: &RewardConfig,
 ) -> EpisodeMetrics {
+    simulate_with_faults(hev, cycle, controller, reward, None)
+}
+
+/// [`simulate`] with an optional fault-injection plan.
+///
+/// With `faults: None` this *is* `simulate` — no variate is drawn and
+/// every step is bit-identical to the unfaulted harness. With a plan,
+/// each step first applies the active motor derating (before the step
+/// context is built, so the per-gear torque tables see the derated
+/// envelope), then perturbs the *observation* handed to the controller
+/// (SOC noise/drift, speed-measurement noise) while the plant steps on
+/// the truth, and finally adds any active auxiliary-load disturbance to
+/// the decided control (clamped to the auxiliary unit's range). Plant
+/// degradation (capacity fade) is applied separately, once per vehicle,
+/// via [`FaultPlan::degrade_plant`].
+pub fn simulate_with_faults(
+    hev: &mut ParallelHev,
+    cycle: &DriveCycle,
+    controller: &mut dyn HevPolicy,
+    reward: &RewardConfig,
+    mut faults: Option<&mut FaultPlan>,
+) -> EpisodeMetrics {
     let dt = cycle.dt();
     let mut metrics = EpisodeMetrics::new(hev.soc());
     // One step context per step, its gear table reused across the whole
     // episode: the controller's mask/argmax/act evaluations and the final
     // apply all complete against the same precomputed kinematics.
     let mut ctx = StepContext::default();
+    if let Some(plan) = faults.as_deref_mut() {
+        plan.begin_episode(cycle.duration_s());
+    }
     controller.begin_episode();
     for (step, point) in cycle.points().enumerate() {
+        if let Some(plan) = faults.as_deref() {
+            hev.set_motor_derate(plan.motor_derate_at(point.time_s));
+        }
         let demand = hev.demand(point.speed_mps, point.accel_mps2, point.grade);
         hev.rebuild_context(&mut ctx, &demand);
+        let (observed_soc, observed_demand) = match faults.as_deref_mut() {
+            Some(plan) => plan.sensor(point.time_s, hev.soc(), &demand),
+            None => (hev.soc(), demand),
+        };
         let obs = Observation {
             step,
             time_s: point.time_s,
-            demand: &demand,
-            soc: hev.soc(),
+            demand: &observed_demand,
+            soc: observed_soc,
             ctx: &ctx,
         };
-        let control = controller.decide(hev, &obs);
+        let mut control = controller.decide(hev, &obs);
+        if let Some(plan) = faults.as_deref() {
+            let extra_w = plan.aux_disturbance_at(point.time_s);
+            if extra_w > 0.0 {
+                let (_, aux_max) = hev.aux().power_range();
+                control.p_aux_w = (control.p_aux_w + extra_w).min(aux_max);
+            }
+        }
         let (outcome, was_fallback) = match hev.step_with_context(&ctx, &control, dt) {
             Ok(o) => (o, false),
             Err(_) => (step_with_fallback(hev, &demand, dt, &mut metrics), true),
@@ -159,7 +254,13 @@ pub fn simulate(
         );
         controller.feedback(hev, &obs, &outcome, r);
     }
+    if faults.is_some() {
+        // Leave the vehicle healthy for the next (differently-windowed)
+        // episode; begin_episode re-applies the next window.
+        hev.set_motor_derate(1.0);
+    }
     controller.end_episode();
+    metrics.degradation = controller.degradation();
     metrics
 }
 

@@ -1,0 +1,127 @@
+//! Property-based tests of the supervised fallback chain: under
+//! randomized fault plans and an adversarial wrapped policy, the
+//! supervisor never emits an infeasible control — except the explicit
+//! limp-home best effort when *no* control is feasible — across
+//! stopped, braking, and propelling demands.
+
+use drive_cycle::ProfileBuilder;
+use hev_control::{
+    fallback_control, simulate_with_faults, DegradationReport, FaultConfig, FaultPlan, HevPolicy,
+    Observation, RewardConfig, SupervisedPolicy,
+};
+use hev_model::{ControlInput, HevParams, ParallelHev, StepOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An adversarial policy: emits random controls including non-finite
+/// fields, absurd currents, and out-of-range gears and auxiliary powers.
+struct Chaotic {
+    rng: StdRng,
+}
+
+impl HevPolicy for Chaotic {
+    fn decide(&mut self, _hev: &ParallelHev, _obs: &Observation<'_>) -> ControlInput {
+        let roll: f64 = self.rng.gen();
+        let battery_current_a = match (roll * 5.0) as usize {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => self.rng.gen_range(-1e6..1e6),
+            _ => self.rng.gen_range(-120.0..120.0),
+        };
+        let p_aux_w = match (self.rng.gen::<f64>() * 4.0) as usize {
+            0 => f64::NAN,
+            1 => self.rng.gen_range(-1e5..1e5),
+            _ => self.rng.gen_range(0.0..2_000.0),
+        };
+        ControlInput {
+            battery_current_a,
+            gear: self.rng.gen_range(0..9),
+            p_aux_w,
+        }
+    }
+}
+
+/// Wraps the supervised policy and verifies every emitted control:
+/// feasible per the step's own `peek_with_context` probe, or — when even
+/// the feasibility search comes up empty — exactly the limp-home
+/// control, never an arbitrary infeasible one.
+struct AssertFeasible {
+    inner: SupervisedPolicy<Chaotic>,
+    dt: f64,
+    violations: usize,
+}
+
+impl HevPolicy for AssertFeasible {
+    fn begin_episode(&mut self) {
+        self.inner.begin_episode();
+    }
+
+    fn decide(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> ControlInput {
+        let control = self.inner.decide(hev, obs);
+        if hev.peek_with_context(obs.ctx, &control, self.dt).is_err()
+            && control != fallback_control(hev, obs.demand, self.dt)
+        {
+            self.violations += 1;
+        }
+        control
+    }
+
+    fn feedback(
+        &mut self,
+        hev: &ParallelHev,
+        obs: &Observation<'_>,
+        outcome: &StepOutcome,
+        reward: f64,
+    ) {
+        self.inner.feedback(hev, obs, outcome, reward);
+    }
+
+    fn end_episode(&mut self) {
+        self.inner.end_episode();
+    }
+
+    fn degradation(&self) -> Option<DegradationReport> {
+        self.inner.degradation()
+    }
+}
+
+proptest! {
+    /// The supervisor's output is feasible at every step of a cycle that
+    /// exercises stopped, propelling, braking, and cruising demands,
+    /// whatever the wrapped policy emits and whatever faults are active.
+    #[test]
+    fn supervised_output_always_feasible(
+        policy_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+        severity in 0.0f64..2.0,
+        cruise_kmh in 20.0f64..70.0,
+        accel_s in 4.0f64..12.0,
+    ) {
+        // Idle (stopped) → accelerate (propelling) → cruise → brake to
+        // rest (regenerating), twice for window coverage.
+        let cycle = ProfileBuilder::new("prop")
+            .idle(4.0)
+            .trip(cruise_kmh, accel_s, 10.0, accel_s * 0.8, 3.0)
+            .trip(cruise_kmh * 0.6, accel_s * 0.5, 6.0, accel_s * 0.5, 2.0)
+            .build()
+            .unwrap();
+        let reward = RewardConfig::default();
+        let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+        let mut plan = FaultPlan::new(FaultConfig::at_severity(severity), plan_seed);
+        plan.degrade_plant(&mut hev);
+        let mut controller = AssertFeasible {
+            inner: SupervisedPolicy::new(Chaotic {
+                rng: StdRng::seed_from_u64(policy_seed),
+            }),
+            dt: reward.dt_s,
+            violations: 0,
+        };
+        let m = simulate_with_faults(&mut hev, &cycle, &mut controller, &reward, Some(&mut plan));
+        prop_assert_eq!(controller.violations, 0);
+        // The faulted cycle still completes every step.
+        prop_assert_eq!(m.steps, cycle.len());
+        let report = m.degradation.expect("supervised run carries a report");
+        prop_assert_eq!(report.decisions, cycle.len());
+    }
+}

@@ -33,32 +33,47 @@ pub fn to_csv_string(cycle: &DriveCycle) -> String {
 
 /// Parses a cycle from CSV text (see [`to_csv_string`] for the format).
 ///
+/// Tolerant of real-world exports: a UTF-8 byte-order mark, CRLF line
+/// endings, blank lines, and a header on the first non-empty line are
+/// all accepted.
+///
 /// # Errors
 ///
-/// Returns [`CycleError::ParseCsv`] for malformed rows or non-uniform
-/// time stamps, plus the usual construction errors.
+/// Returns [`CycleError::ParseCsv`] for malformed rows and for
+/// duplicate, non-monotonic, or non-uniform time stamps (each pointing
+/// at the offending 1-based line), plus the usual construction errors.
 pub fn from_csv_str(name: impl Into<String>, text: &str) -> Result<DriveCycle, CycleError> {
-    let mut times = Vec::new();
+    // A UTF-8 BOM would otherwise glue itself to the header's first
+    // character and defeat the header check below.
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
+    // (1-based line, time) per sample, so time-stamp diagnostics can
+    // point at the exact offending row.
+    let mut times: Vec<(usize, f64)> = Vec::new();
     let mut speeds_kmh = Vec::new();
     let mut grades = Vec::new();
-    for (line_no, line) in text.lines().enumerate() {
+    let mut saw_first = false;
+    for (line_idx, line) in text.lines().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        // Skip a header row.
-        if line_no == 0 && trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
-            continue;
+        // Skip a header on the first non-empty line.
+        if !saw_first {
+            saw_first = true;
+            if trimmed.chars().next().is_some_and(|c| c.is_alphabetic()) {
+                continue;
+            }
         }
+        let line_no = line_idx + 1;
         let mut fields = trimmed.split(',');
         let parse = |s: Option<&str>, what: &str| -> Result<f64, CycleError> {
             s.and_then(|v| v.trim().parse::<f64>().ok())
                 .ok_or_else(|| CycleError::ParseCsv {
-                    line: line_no + 1,
+                    line: line_no,
                     reason: format!("missing or invalid {what}"),
                 })
         };
-        times.push(parse(fields.next(), "time")?);
+        times.push((line_no, parse(fields.next(), "time")?));
         speeds_kmh.push(parse(fields.next(), "speed")?);
         if let Some(g) = fields.next() {
             grades.push(parse(Some(g), "grade")?);
@@ -67,16 +82,39 @@ pub fn from_csv_str(name: impl Into<String>, text: &str) -> Result<DriveCycle, C
     if times.is_empty() {
         return Err(CycleError::Empty);
     }
+    // Reject duplicate and non-monotonic stamps before judging spacing,
+    // so the error names the actual defect rather than "non-uniform".
+    for w in times.windows(2) {
+        let (line, t) = w[1];
+        let (_, prev) = w[0];
+        if (t - prev).abs() <= 1e-9 {
+            return Err(CycleError::ParseCsv {
+                line,
+                reason: format!("duplicate time stamp {t}"),
+            });
+        }
+        if t < prev {
+            return Err(CycleError::ParseCsv {
+                line,
+                reason: format!("non-monotonic time stamp {t} after {prev}"),
+            });
+        }
+    }
     let dt = if times.len() >= 2 {
-        times[1] - times[0]
+        times[1].1 - times[0].1
     } else {
         1.0
     };
     for w in times.windows(2) {
-        if ((w[1] - w[0]) - dt).abs() > 1e-6 {
+        let (line, t) = w[1];
+        let (_, prev) = w[0];
+        if ((t - prev) - dt).abs() > 1e-6 {
             return Err(CycleError::ParseCsv {
-                line: 0,
-                reason: "time stamps are not uniformly spaced".to_string(),
+                line,
+                reason: format!(
+                    "time stamps are not uniformly spaced: step {} differs from {dt}",
+                    t - prev
+                ),
             });
         }
     }
@@ -168,7 +206,48 @@ mod tests {
     #[test]
     fn rejects_non_uniform_times() {
         let err = from_csv_str("x", "0,10\n1,10\n3,10\n").unwrap_err();
-        assert!(matches!(err, CycleError::ParseCsv { .. }));
+        assert!(matches!(err, CycleError::ParseCsv { line: 3, .. }));
+    }
+
+    #[test]
+    fn accepts_utf8_bom_before_header() {
+        // A BOM'd header used to mis-parse: the header check saw '\u{feff}'
+        // instead of 't' and fell through to field parsing.
+        let back = from_csv_str("x", "\u{feff}time_s,speed_kmh\n0,36\n1,36\n").unwrap();
+        assert_eq!(back.len(), 2);
+        assert!((back.speed_at(0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accepts_crlf_line_endings() {
+        let back = from_csv_str("x", "time_s,speed_kmh\r\n0,36\r\n1,36\r\n2,36\r\n").unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn accepts_header_after_blank_lines() {
+        let back = from_csv_str("x", "\n\ntime_s,speed_kmh\n0,36\n1,36\n").unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_time_stamp_with_line() {
+        let err = from_csv_str("x", "time_s,speed_kmh\n0,10\n1,10\n1,11\n2,12\n").unwrap_err();
+        let CycleError::ParseCsv { line, reason } = err else {
+            panic!("expected ParseCsv, got {err:?}");
+        };
+        assert_eq!(line, 4);
+        assert!(reason.contains("duplicate"), "reason: {reason}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_time_stamp_with_line() {
+        let err = from_csv_str("x", "0,10\n1,10\n0.5,11\n").unwrap_err();
+        let CycleError::ParseCsv { line, reason } = err else {
+            panic!("expected ParseCsv, got {err:?}");
+        };
+        assert_eq!(line, 3);
+        assert!(reason.contains("non-monotonic"), "reason: {reason}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests of cycle-manipulation invariants.
 
-use drive_cycle::{CycleStats, DriveCycle, MicroTripConfig, MicroTripGenerator};
+use drive_cycle::{io, CycleStats, DriveCycle, MicroTripConfig, MicroTripGenerator};
 use proptest::prelude::*;
 
 fn arb_speeds() -> impl Strategy<Value = Vec<f64>> {
@@ -72,6 +72,30 @@ proptest! {
         for (&a, &b) in c.speeds_mps().iter().zip(p.speeds_mps()) {
             prop_assert!(b >= 0.0);
             prop_assert!((b - a).abs() <= a * amp + 1e-9);
+        }
+    }
+
+    /// CSV serialization round-trips every cycle (with or without a
+    /// grade column), including under CRLF line endings and a UTF-8 BOM.
+    #[test]
+    fn csv_roundtrip(speeds in arb_speeds(), with_grade in 0u8..2, decorate in 0u8..2) {
+        let (with_grade, decorate) = (with_grade == 1, decorate == 1);
+        let c = if with_grade {
+            let grades: Vec<f64> = (0..speeds.len()).map(|i| 0.01 * (i % 5) as f64).collect();
+            DriveCycle::with_grade("p", 1.0, speeds, grades).unwrap()
+        } else {
+            DriveCycle::from_speeds_mps("p", 1.0, speeds).unwrap()
+        };
+        let mut csv = io::to_csv_string(&c);
+        if decorate {
+            // Real-world exports: BOM + CRLF must parse identically.
+            csv = format!("\u{feff}{}", csv.replace('\n', "\r\n"));
+        }
+        let back = io::from_csv_str("p", &csv).unwrap();
+        prop_assert_eq!(back.len(), c.len());
+        for i in 0..c.len() {
+            prop_assert!((back.speed_at(i) - c.speed_at(i)).abs() < 1e-9);
+            prop_assert!((back.grade_at(i) - c.grade_at(i)).abs() < 1e-9);
         }
     }
 

@@ -88,6 +88,21 @@ impl Battery {
         self.soc = soc;
     }
 
+    /// Degrades the pack by scaling its capacity to `(1 − fade)` of the
+    /// nominal value — the fault-injection model of calendar/cycle aging.
+    /// The state of charge (a fraction) is preserved, so the same current
+    /// moves it faster through a faded pack, exactly as Coulomb counting
+    /// over a smaller capacity would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fade` is outside `[0, 1)` (a fully faded pack has no
+    /// capacity left to model).
+    pub fn apply_capacity_fade(&mut self, fade: f64) {
+        assert!((0.0..1.0).contains(&fade), "fade must be in [0, 1)");
+        self.params.capacity_ah *= 1.0 - fade;
+    }
+
     /// Open-circuit voltage at the current state of charge, V.
     pub fn ocv(&self) -> f64 {
         self.ocv_at(self.soc)
@@ -239,6 +254,25 @@ mod tests {
     fn rejects_initial_soc_outside_window() {
         assert!(Battery::new(BatteryParams::default(), 0.2).is_err());
         assert!(Battery::new(BatteryParams::default(), 0.9).is_err());
+    }
+
+    #[test]
+    fn capacity_fade_shrinks_capacity_and_speeds_soc_swing() {
+        let mut faded = pack();
+        faded.apply_capacity_fade(0.2);
+        assert!((faded.params().capacity_ah - 0.8 * pack().params().capacity_ah).abs() < 1e-12);
+        assert_eq!(faded.soc(), 0.6);
+        // Same discharge current moves SOC further on the faded pack.
+        let healthy_drop = pack().soc() - pack().soc_after(20.0, 10.0);
+        let faded_drop = faded.soc() - faded.soc_after(20.0, 10.0);
+        assert!(faded_drop > healthy_drop);
+        assert!((faded_drop - healthy_drop / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fade must be in [0, 1)")]
+    fn capacity_fade_rejects_total_fade() {
+        pack().apply_capacity_fade(1.0);
     }
 
     #[test]

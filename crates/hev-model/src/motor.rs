@@ -32,6 +32,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Motor {
     params: MotorParams,
+    /// Torque-envelope scale in `(0, 1]`; `1.0` = healthy machine. Set by
+    /// fault injection to model thermal derating windows.
+    derate: f64,
 }
 
 impl Motor {
@@ -42,12 +45,38 @@ impl Motor {
     /// Returns a [`ParamError`] if the parameters are invalid.
     pub fn new(params: MotorParams) -> Result<Self, ParamError> {
         params.validate()?;
-        Ok(Self { params })
+        Ok(Self {
+            params,
+            derate: 1.0,
+        })
     }
 
     /// The machine's parameters.
     pub fn params(&self) -> &MotorParams {
         &self.params
+    }
+
+    /// The active torque-envelope scale (see [`Motor::set_derate`]).
+    pub fn derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Scales the torque envelope to `factor` of its healthy value — the
+    /// fault-injection model of inverter/machine thermal derating. Both
+    /// envelope limits shrink symmetrically; the loss model is untouched.
+    /// `1.0` restores the healthy machine (and, since `x * 1.0 == x` in
+    /// IEEE-754, leaves every envelope query bit-identical to a machine
+    /// that was never derated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_derate(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0, 1], got {factor}"
+        );
+        self.derate = factor;
     }
 
     /// Maximum shaft speed, rad/s.
@@ -58,11 +87,12 @@ impl Motor {
     /// Maximum motoring torque at the given speed, N·m (Eq. 4's
     /// `T_EM^max(ω)`): constant below base speed, power-limited above.
     pub fn max_torque(&self, speed_rad_s: f64) -> f64 {
-        if speed_rad_s <= self.params.base_speed_rad_s() {
+        let healthy = if speed_rad_s <= self.params.base_speed_rad_s() {
             self.params.max_torque_nm
         } else {
             self.params.rated_power_w / speed_rad_s
-        }
+        };
+        healthy * self.derate
     }
 
     /// Minimum (most negative, generating) torque at the given speed, N·m
@@ -286,6 +316,30 @@ mod tests {
         let t = 25_000.0 / w;
         let eta = m.efficiency(t, w).unwrap();
         assert!(eta > 0.90, "eta {eta}");
+    }
+
+    #[test]
+    fn derate_scales_envelope_symmetrically() {
+        let mut m = motor();
+        let base = m.params().base_speed_rad_s();
+        m.set_derate(0.5);
+        assert_eq!(m.derate(), 0.5);
+        assert_eq!(m.max_torque(0.5 * base), 42.5);
+        assert_eq!(m.min_torque(0.5 * base), -42.5);
+        let above = 2.0 * base;
+        assert!((m.max_torque(above) - 0.5 * 25_000.0 / above).abs() < 1e-9);
+        // A point feasible when healthy is rejected while derated…
+        assert!(!m.operating_point_feasible(80.0, 100.0));
+        // …and restoring the envelope is bit-identical to never derating.
+        m.set_derate(1.0);
+        assert_eq!(m.max_torque(0.5 * base), motor().max_torque(0.5 * base));
+        assert!(m.operating_point_feasible(80.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor must be in (0, 1]")]
+    fn derate_rejects_zero() {
+        motor().set_derate(0.0);
     }
 
     #[test]

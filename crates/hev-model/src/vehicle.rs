@@ -392,6 +392,31 @@ impl ParallelHev {
         self.engine_on = false;
     }
 
+    /// Degrades the battery by scaling its capacity to `(1 − fade)` of
+    /// nominal (see [`Battery::apply_capacity_fade`]); the fault-injection
+    /// hook for pack aging. Applied once per degraded vehicle — fade
+    /// compounds if called repeatedly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fade` is outside `[0, 1)`.
+    pub fn apply_battery_capacity_fade(&mut self, fade: f64) {
+        self.battery.apply_capacity_fade(fade);
+    }
+
+    /// Scales the electric machine's torque envelope (see
+    /// [`Motor::set_derate`]); the fault-injection hook for thermal
+    /// derating windows. `1.0` restores the healthy envelope. Callers
+    /// must set this *before* building the step context so the per-gear
+    /// torque tables see the derated envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn set_motor_derate(&mut self, factor: f64) {
+        self.motor.set_derate(factor);
+    }
+
     /// Whether the engine was running at the end of the last committed
     /// step.
     pub fn engine_on(&self) -> bool {
