@@ -104,6 +104,7 @@ pub fn train_clean_snapshots_with(
             });
             let (agent, _) =
                 train_portfolio_checkpointed(ccfg, &mut hev, &portfolio, episodes, spec.as_ref())
+                    // hevlint::allow(panic::expect, the experiment harness aborts on checkpoint I/O failure by design; training results would be unusable)
                     .expect("checkpoint file IO failed");
             agent.snapshot()
         })
@@ -189,8 +190,9 @@ pub fn robustness_with(
                 if p.steps == cycle.len() {
                     completed += 1;
                 }
-                degradation =
-                    degradation.merged(&p.degradation.expect("supervised episodes carry a report"));
+                if let Some(d) = &p.degradation {
+                    degradation = degradation.merged(d);
+                }
                 p_fuel += corrected_fuel_g(&p);
                 r_fuel += corrected_fuel_g(&r);
                 p_util += p.mean_utility();

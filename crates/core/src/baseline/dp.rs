@@ -60,6 +60,7 @@ pub struct DpPolicy {
 impl DpPolicy {
     fn soc_index(&self, soc: f64, n: usize) -> usize {
         let f = ((soc - self.soc_min) / (self.soc_max - self.soc_min)).clamp(0.0, 1.0);
+        // hevlint::allow(float::lossy-cast, grid index: f is clamped to [0,1] above and the cast is bounded by .min(n-1))
         ((f * (n - 1) as f64).round() as usize).min(n - 1)
     }
 }
@@ -118,6 +119,7 @@ pub fn solve(
 
     let interp = |value: &[f64], soc: f64| -> f64 {
         let f = ((soc - soc_min) / (soc_max - soc_min)).clamp(0.0, 1.0) * (n - 1) as f64;
+        // hevlint::allow(float::lossy-cast, interpolation cell index: f is clamped non-negative above and bounded by .min(n-2))
         let j = (f.floor() as usize).min(n - 2);
         let w = f - j as f64;
         value[j] * (1.0 - w) + value[j + 1] * w

@@ -86,6 +86,7 @@ impl FaultConfig {
             severity.is_finite() && severity >= 0.0,
             "severity must be finite and non-negative, got {severity}"
         );
+        // hevlint::allow(float::eq, exact sentinel: severity 0.0 means faults disabled; the value is configuration, not an arithmetic result)
         if severity == 0.0 {
             return Self::off();
         }

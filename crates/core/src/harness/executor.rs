@@ -59,10 +59,13 @@ where
                 }
                 let input = slots[i]
                     .lock()
+                    // hevlint::allow(panic::expect, a poisoned input slot means another worker already panicked; crash tolerance is layered above via run_caught)
                     .expect("task slot poisoned")
                     .take()
+                    // hevlint::allow(panic::expect, the atomic counter hands each index to exactly one worker)
                     .expect("task taken twice");
                 let result = f(i, input);
+                // hevlint::allow(panic::expect, a poisoned result slot means another worker already panicked; crash tolerance is layered above via run_caught)
                 *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -72,7 +75,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // hevlint::allow(panic::expect, propagating a worker panic out of the scope is the executor's documented crash semantics)
                 .expect("result slot poisoned")
+                // hevlint::allow(panic::expect, every index is claimed and stored exactly once; run_caught wraps tasks that may panic)
                 .expect("worker exited without storing a result")
         })
         .collect()

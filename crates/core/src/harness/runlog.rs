@@ -133,11 +133,19 @@ impl RunLog {
         Ok(Self::new(Box::new(std::fs::File::create(path)?)))
     }
 
-    /// Writes one event as a JSON line. I/O errors are swallowed:
-    /// progress reporting must never abort a training batch.
+    /// Writes one event as a JSON line. I/O and serialization errors are
+    /// swallowed and a poisoned sink is recovered: progress reporting
+    /// must never abort (or panic out of) a training batch.
     pub fn emit(&self, event: &RunEvent) {
-        let line = serde_json::to_string(event).expect("RunEvent serializes");
-        let mut w = self.writer.lock().expect("run log poisoned");
+        let Ok(line) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut w = match self.writer.lock() {
+            Ok(w) => w,
+            // A worker panicked while holding the sink; the sink itself
+            // is just a buffered writer, so keep logging through it.
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let _ = writeln!(w, "{line}");
         let _ = w.flush();
     }

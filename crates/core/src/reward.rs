@@ -76,6 +76,7 @@ impl RewardConfig {
     }
 
     fn soc_barrier(&self, soc: f64) -> f64 {
+        // hevlint::allow(float::eq, exact sentinel: a configured weight of literal 0.0 disables the barrier term; no arithmetic feeds this value)
         if self.soc_barrier_weight == 0.0 {
             return 0.0;
         }

@@ -154,6 +154,7 @@ impl DriveCycle {
             }
         }
         let t_end = knots[knots.len() - 1].0;
+        // hevlint::allow(float::lossy-cast, sample count: t_end and dt are validated positive and finite, so the floor is a small non-negative integer)
         let n = (t_end / dt).floor() as usize + 1;
         let mut speeds = Vec::with_capacity(n);
         let mut k = 0usize;
@@ -333,9 +334,11 @@ impl DriveCycle {
             "resample dt must be positive"
         );
         let t_end = (self.speed_mps.len() - 1) as f64 * self.dt;
+        // hevlint::allow(float::lossy-cast, resample count: t_end and new_dt are validated positive and finite, so the floor is a small non-negative integer)
         let n = (t_end / new_dt).floor() as usize + 1;
         let lerp = |trace: &[f64], t: f64| -> f64 {
             let x = t / self.dt;
+            // hevlint::allow(float::lossy-cast, interpolation index: x is non-negative by construction and bounded by .min(len-1))
             let i = (x.floor() as usize).min(trace.len() - 1);
             let j = (i + 1).min(trace.len() - 1);
             let f = x - i as f64;

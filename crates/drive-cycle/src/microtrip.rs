@@ -140,6 +140,7 @@ impl MicroTripGenerator {
             builder = builder.trip(peak, up, cruise, down, idle);
             elapsed += up + cruise + down + idle;
         }
+        // hevlint::allow(panic::expect, the generator loop always appends at least one trip before building)
         builder.build().expect("generated profile is non-empty")
     }
 

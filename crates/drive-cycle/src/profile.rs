@@ -63,6 +63,7 @@ impl ProfileBuilder {
 
     /// Appends an idle (zero-speed) segment of the given duration.
     pub fn idle(mut self, secs: f64) -> Self {
+        // hevlint::allow(float::lossy-cast, sample count: builder durations are author-provided small positive numbers; a negative rounds to zero samples)
         let n = (secs / self.dt).round() as usize;
         for _ in 0..n {
             self.speeds_mps.push(0.0);
@@ -75,6 +76,7 @@ impl ProfileBuilder {
     /// Appends a linear ramp from the current speed to `to_kmh` over
     /// `secs` seconds.
     pub fn ramp_to(mut self, to_kmh: f64, secs: f64) -> Self {
+        // hevlint::allow(float::lossy-cast, ramp sample count: bounded below by .max(1); durations are author-provided small positive numbers)
         let n = ((secs / self.dt).round() as usize).max(1);
         let from = self.current_kmh;
         for i in 1..=n {
@@ -90,6 +92,7 @@ impl ProfileBuilder {
     /// Appends a cruise at the current speed for `secs` seconds, with the
     /// configured sinusoidal ripple.
     pub fn cruise(mut self, secs: f64) -> Self {
+        // hevlint::allow(float::lossy-cast, sample count: builder durations are author-provided small positive numbers; a negative rounds to zero samples)
         let n = (secs / self.dt).round() as usize;
         let base = self.current_kmh;
         for _ in 0..n {

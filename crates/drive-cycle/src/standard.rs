@@ -168,6 +168,7 @@ impl StandardCycle {
             StandardCycle::ModemUrban => modem_urban(),
             StandardCycle::Wltc => wltc(),
         };
+        // hevlint::allow(panic::expect, the eight cycle tables are compile-time constants; emptiness is covered by the standard-cycle tests)
         built.expect("standard cycle definitions are non-empty")
     }
 }

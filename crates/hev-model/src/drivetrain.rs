@@ -146,7 +146,9 @@ impl Drivetrain {
         (0..self.num_gears()).min_by(|&a, &b| {
             let da = (self.ice_speed(wheel_speed_rad_s, a) - target_rad_s).abs();
             let db = (self.ice_speed(wheel_speed_rad_s, b) - target_rad_s).abs();
-            da.partial_cmp(&db).expect("speeds are finite")
+            // total_cmp: a NaN target orders deterministically instead of
+            // panicking the comparator.
+            da.total_cmp(&db)
         })
     }
 }

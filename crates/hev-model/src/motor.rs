@@ -104,6 +104,7 @@ impl Motor {
     /// Total machine + electronics loss at `(T, ω)`, W. Zero for a
     /// de-energized stopped machine.
     pub fn power_loss(&self, torque_nm: f64, speed_rad_s: f64) -> f64 {
+        // hevlint::allow(float::eq, exact sentinel: the stationary zero-torque point is encoded as literal zeros by the caller, not computed)
         if speed_rad_s == 0.0 && torque_nm == 0.0 {
             return 0.0;
         }

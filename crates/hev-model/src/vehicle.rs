@@ -608,9 +608,9 @@ impl ParallelHev {
         dt: f64,
     ) -> Result<StepOutcome, InfeasibleControl> {
         let outcome = self.peek_with_context(ctx, control, dt)?;
-        self.battery
-            .step(outcome.battery_current_a, dt)
-            .expect("peek validated the battery step");
+        // peek validated the battery step, so this commit cannot fail;
+        // propagating (rather than unwrapping) keeps the path panic-free.
+        self.battery.step(outcome.battery_current_a, dt)?;
         debug_assert!((self.battery.soc() - outcome.soc_after).abs() < 1e-12);
         self.engine_on = outcome.ice_speed_rad_s > 0.0;
         Ok(outcome)
@@ -630,10 +630,10 @@ impl ParallelHev {
     ) -> Result<StepOutcome, InfeasibleControl> {
         let outcome = self.peek(demand, control, dt)?;
         // Commit through the battery's own step so the Coulomb counter
-        // and (when enabled) the thermal state advance together.
-        self.battery
-            .step(outcome.battery_current_a, dt)
-            .expect("peek validated the battery step");
+        // and (when enabled) the thermal state advance together. peek
+        // validated the step, so this cannot fail; propagating keeps the
+        // path panic-free.
+        self.battery.step(outcome.battery_current_a, dt)?;
         debug_assert!((self.battery.soc() - outcome.soc_after).abs() < 1e-12);
         self.engine_on = outcome.ice_speed_rad_s > 0.0;
         Ok(outcome)

@@ -1,0 +1,216 @@
+//! `hevlint` — a workspace-specific static analyzer for the HEV
+//! joint-control codebase.
+//!
+//! The repo's core contract is bit-identical Q-tables and stdout at
+//! every `--jobs` value. Runtime diff tests guard that contract after
+//! the fact; `hevlint` enforces the *source patterns* that break it —
+//! before they run:
+//!
+//! - **determinism**: no `HashMap`/`HashSet` (hasher-dependent
+//!   iteration), no wall-clock/entropy/environment reads outside the
+//!   allowlisted harness/bench timing layer;
+//! - **panic-freedom**: no `unwrap`/`expect`/`panic!`/`unreachable!` in
+//!   library non-test code (typed errors or documented invariants);
+//! - **float discipline**: no exact `==`/`!=` against float literals, no
+//!   lossy `as` casts in physics code;
+//! - **hygiene**: no `dbg!`/`todo!`/leftover prints in libraries;
+//! - **headers**: uniform `#![forbid(unsafe_code)]` +
+//!   `#![warn(missing_docs)]` crate roots.
+//!
+//! Deliberate exceptions are declared in-place with
+//! `// hevlint::allow(rule, reason)` — scoped to a single line,
+//! mandatory reason, and reported when stale. See DESIGN.md ("Static
+//! analysis") for the full rule table and the lexical-analysis
+//! limitations.
+//!
+//! Run it with `cargo run -p hevlint -- --deny-all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod directives;
+pub mod lexer;
+pub mod rules;
+
+use diagnostics::{Finding, Severity};
+use rules::{FileContext, Role};
+use std::path::{Path, PathBuf};
+
+/// Linter options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Enable the opt-in `panic::indexing` rule.
+    pub strict_indexing: bool,
+}
+
+/// Result of linting a tree: findings plus scan counters.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by allow directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when any finding is deny-severity.
+    pub fn has_denials(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Derives the role of a file from its workspace-relative path.
+///
+/// The harness/bench/tooling layer — `crates/bench` (experiment runner,
+/// prints reports, measures wall-clock), `crates/core/src/harness`
+/// (timing + run-log layer), and `crates/hevlint` itself (a CLI tool) —
+/// is exempt from the wall-clock/env/print rules; everything else is
+/// library code.
+pub fn role_for(rel_path: &str) -> Role {
+    let p = rel_path.replace('\\', "/");
+    if p.starts_with("crates/bench/") || p.starts_with("crates/hevlint/") || p.contains("/harness/")
+    {
+        Role::Harness
+    } else {
+        Role::Library
+    }
+}
+
+/// Lints one source string. `rel_path` decides the role and whether the
+/// crate-root header rule applies.
+pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> (Vec<Finding>, usize) {
+    let out = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let ctx = FileContext {
+        rel_path: rel_path.to_string(),
+        role: role_for(rel_path),
+        is_crate_root: rel_path.replace('\\', "/").ends_with("src/lib.rs"),
+        strict_indexing: opts.strict_indexing,
+    };
+    let mut findings = rules::check(&out.tokens, &ctx, &lines);
+    let mut parsed = directives::parse(
+        &out.comments,
+        &out.tokens,
+        rel_path,
+        &lines,
+        rules::known_rule,
+    );
+    let (mut kept, suppressed) = directives::apply(
+        &mut parsed.directives,
+        findings.split_off(0),
+        rel_path,
+        &lines,
+    );
+    kept.append(&mut parsed.findings);
+    kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (kept, suppressed)
+}
+
+/// Directory names never descended into: build output, vendored
+/// stand-ins, and test/bench/example/fixture code (the rules target
+/// library and harness *source*; test code is exempt by design).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root`'s `crates/` and `src/` trees
+/// (skipping `target/`, `vendor/`, tests, benches, examples, fixtures).
+pub fn lint_workspace(root: &Path, opts: &Options) -> Report {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    let mut report = Report::default();
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        report.files_scanned += 1;
+        let (findings, suppressed) = lint_source(&rel, &src, opts);
+        report.suppressed += suppressed;
+        report.findings.extend(findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_by_path() {
+        assert_eq!(role_for("crates/bench/src/perf.rs"), Role::Harness);
+        assert_eq!(role_for("crates/core/src/harness/mod.rs"), Role::Harness);
+        assert_eq!(role_for("crates/hevlint/src/main.rs"), Role::Harness);
+        assert_eq!(role_for("crates/core/src/sim.rs"), Role::Library);
+        assert_eq!(role_for("src/lib.rs"), Role::Library);
+    }
+
+    #[test]
+    fn allow_directive_suppresses_one_line() {
+        let src = "\
+fn f(o: Option<u32>) -> u32 {
+    // hevlint::allow(panic::unwrap, demo invariant)
+    let a = o.unwrap();
+    let b = o.unwrap();
+    a + b
+}
+";
+        let (findings, suppressed) = lint_source("crates/x/src/f.rs", src, &Options::default());
+        assert_eq!(suppressed, 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn dogfood_own_sources_are_clean() {
+        // The linter must pass over its own crate (harness role).
+        for (name, src) in [
+            ("crates/hevlint/src/lib.rs", include_str!("lib.rs")),
+            ("crates/hevlint/src/lexer.rs", include_str!("lexer.rs")),
+            ("crates/hevlint/src/rules.rs", include_str!("rules.rs")),
+            (
+                "crates/hevlint/src/directives.rs",
+                include_str!("directives.rs"),
+            ),
+            (
+                "crates/hevlint/src/diagnostics.rs",
+                include_str!("diagnostics.rs"),
+            ),
+            ("crates/hevlint/src/main.rs", include_str!("main.rs")),
+        ] {
+            let (findings, _) = lint_source(name, src, &Options::default());
+            assert!(findings.is_empty(), "{name} has findings: {:?}", findings);
+        }
+    }
+}

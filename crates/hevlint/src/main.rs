@@ -1,0 +1,108 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! hevlint [--root PATH] [--format human|json] [--deny-all]
+//!         [--strict-indexing] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings at the enforced level, 2 usage or
+//! I/O error. `--deny-all` also fails on warn-level findings (CI mode);
+//! the default only fails on deny-level findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hevlint::diagnostics::{findings_to_human, report_to_json, Severity};
+use hevlint::rules::RULES;
+use hevlint::{lint_workspace, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hevlint [--root PATH] [--format human|json] [--deny-all] [--strict-indexing] [--list-rules]";
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    strict_indexing: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        strict_indexing: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                _ => return Err("--format needs `human` or `json`".to_string()),
+            },
+            "--deny-all" => args.deny_all = true,
+            "--strict-indexing" => args.strict_indexing = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("hevlint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in RULES {
+            let opt = if r.opt_in { " (opt-in)" } else { "" };
+            println!("{:<34} {:<5}{} {}", r.id, r.severity.as_str(), opt, r.desc);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let opts = Options {
+        strict_indexing: args.strict_indexing,
+    };
+    let report = lint_workspace(&args.root, &opts);
+
+    if args.json {
+        println!(
+            "{}",
+            report_to_json(&report.findings, report.files_scanned, report.suppressed)
+        );
+    } else {
+        print!("{}", findings_to_human(&report.findings));
+    }
+
+    let denials = report.has_denials();
+    let warns = report.findings.iter().any(|f| f.severity == Severity::Warn);
+    eprintln!(
+        "hevlint: {} file(s) scanned, {} finding(s), {} suppressed by allow directives",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    if denials || (args.deny_all && warns) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,640 @@
+//! Rule registry and the token-stream checks for every rule family.
+//!
+//! Rules operate on the flat token stream from [`crate::lexer`], so they
+//! are *lexical*: deliberately narrow patterns with near-zero false
+//! positives rather than full type-aware analysis. Each rule documents
+//! exactly what it matches; what a lexical pass cannot see (e.g. `a == b`
+//! on two `f64` variables) is out of scope and noted in DESIGN.md.
+
+use crate::diagnostics::{Finding, Severity};
+use crate::directives::snippet_at;
+use crate::lexer::{Token, TokenKind};
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code: every rule applies.
+    Library,
+    /// The allowlisted harness/bench/tooling timing layer: wall-clock,
+    /// environment reads, and report printing are part of the job here,
+    /// so the `determinism::wall-clock`, `determinism::env-read`, and
+    /// `hygiene::print` rules are waived. All other rules still apply.
+    Harness,
+}
+
+/// Per-file context a lint pass needs.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Library or harness role (derived from the path).
+    pub role: Role,
+    /// True for `src/lib.rs` crate roots (headers rule).
+    pub is_crate_root: bool,
+    /// Lint `panic::indexing` too (opt-in; see [`RULES`]).
+    pub strict_indexing: bool,
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, `family::name`.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// True when the rule only runs under an opt-in flag.
+    pub opt_in: bool,
+    /// One-line description for `--list-rules` and docs.
+    pub desc: &'static str,
+}
+
+/// Every rule the linter knows, in stable order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism::hash-collection",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no HashMap/HashSet: iteration order depends on hasher state; use BTreeMap/BTreeSet or sorted iteration",
+    },
+    RuleInfo {
+        id: "determinism::wall-clock",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no Instant/SystemTime/thread_rng/from_entropy outside the harness/bench timing layer",
+    },
+    RuleInfo {
+        id: "determinism::env-read",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no std::env reads (env::var, env!, option_env!) outside the harness/bench layer",
+    },
+    RuleInfo {
+        id: "panic::unwrap",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no .unwrap() in library non-test code; propagate a typed error or document the invariant",
+    },
+    RuleInfo {
+        id: "panic::expect",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no .expect() in library non-test code; propagate a typed error or document the invariant",
+    },
+    RuleInfo {
+        id: "panic::macro",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no panic!/unreachable! in library non-test code (assert! is allowed: it states an invariant)",
+    },
+    RuleInfo {
+        id: "panic::indexing",
+        severity: Severity::Deny,
+        opt_in: true,
+        desc: "(opt-in: --strict-indexing) no bracket indexing/slicing; use .get()/.get_mut()",
+    },
+    RuleInfo {
+        id: "float::eq",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no ==/!= against a float literal; compare with a tolerance or justify the exact sentinel",
+    },
+    RuleInfo {
+        id: "float::lossy-cast",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no `as f32`, float-literal `as <int>`, or .ceil()/.floor()/.round()/.trunc() `as <int>`",
+    },
+    RuleInfo {
+        id: "hygiene::print",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no print!/println!/eprint!/eprintln! in library code (harness/report layer is exempt)",
+    },
+    RuleInfo {
+        id: "hygiene::dbg",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no dbg! anywhere",
+    },
+    RuleInfo {
+        id: "hygiene::todo",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no todo!/unimplemented! in committed code",
+    },
+    RuleInfo {
+        id: "headers::crate-lints",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "crate roots (src/lib.rs) must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    },
+    RuleInfo {
+        id: "directive::malformed",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "a hevlint::allow directive must parse as (rule, reason) with a non-empty reason",
+    },
+    RuleInfo {
+        id: "directive::unknown-rule",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "a hevlint::allow directive must name an existing rule or rule family",
+    },
+    RuleInfo {
+        id: "directive::unused-allow",
+        severity: Severity::Warn,
+        opt_in: false,
+        desc: "a hevlint::allow directive that suppresses nothing is stale and must be removed",
+    },
+];
+
+/// True when `name` is a rule id or a family prefix of one.
+pub fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| {
+        r.id == name
+            || r.id
+                .strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with("::"))
+    })
+}
+
+/// Integer types for the lossy-cast rule.
+const INT_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+/// Float methods whose integer cast the lossy-cast rule flags.
+const TRUNCATING_METHODS: &[&str] = &["ceil", "floor", "round", "trunc"];
+
+/// Marks, per token, whether it is inside test-gated code: an item under
+/// `#[cfg(test)]` / `#[cfg(any(.., test, ..))]` or a `#[test]` function.
+/// The item is skipped up to its matching close brace (or `;` for
+/// brace-less items such as gated `use` statements).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Pound
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::LBracket)
+        {
+            // Scan the attribute's bracket group.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut has_test = false;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokenKind::LBracket => depth += 1,
+                    TokenKind::RBracket => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k if k.is_ident("test") => has_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test {
+                // Skip the gated item: everything up to the matching `}`
+                // of its first brace group, or a top-level `;`.
+                let mut k = j + 1;
+                let mut brace = 0usize;
+                while k < tokens.len() {
+                    mask[k] = true;
+                    match tokens[k].kind {
+                        TokenKind::LBrace => brace += 1,
+                        TokenKind::RBrace => {
+                            brace -= 1;
+                            if brace == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Semi if brace == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(j + 1).skip(i) {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Marks tokens inside `#[...]` / `#![...]` attribute groups, so the
+/// indexing rule doesn't fire on attribute brackets.
+fn attr_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let at_attr = tokens[i].kind == TokenKind::Pound
+            && (tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::LBracket)
+                || (tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Not)
+                    && tokens
+                        .get(i + 2)
+                        .is_some_and(|t| t.kind == TokenKind::LBracket)));
+        if at_attr {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < tokens.len() {
+                mask[j] = true;
+                match tokens[j].kind {
+                    TokenKind::LBracket => depth += 1,
+                    TokenKind::RBracket => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Runs every applicable rule over one file's token stream.
+pub fn check(tokens: &[Token], ctx: &FileContext, lines: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let tmask = test_mask(tokens);
+    let amask = attr_mask(tokens);
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        let severity = RULES
+            .iter()
+            .find(|r| r.id == rule)
+            .map(|r| r.severity)
+            .unwrap_or(Severity::Deny);
+        findings.push(Finding {
+            rule,
+            file: ctx.rel_path.clone(),
+            line,
+            snippet: snippet_at(lines, line),
+            severity,
+            message,
+        });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if tmask[i] {
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let next2 = tokens.get(i + 2);
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        match &t.kind {
+            TokenKind::Ident(name) => {
+                let followed_by_bang = next.is_some_and(|n| n.kind == TokenKind::Not);
+                match name.as_str() {
+                    // determinism::hash-collection — any use of the types.
+                    "HashMap" | "HashSet" => push(
+                        "determinism::hash-collection",
+                        t.line,
+                        format!("`{name}` has hasher-dependent iteration order; use the BTree equivalent or sorted iteration"),
+                    ),
+                    // determinism::wall-clock — outside the harness layer.
+                    "Instant" | "SystemTime" | "thread_rng" | "from_entropy"
+                        if ctx.role == Role::Library =>
+                    {
+                        push(
+                            "determinism::wall-clock",
+                            t.line,
+                            format!("`{name}` introduces wall-clock/entropy state outside the harness timing layer"),
+                        )
+                    }
+                    // determinism::env-read — `env::…`, `env!`, `option_env!`.
+                    "env" if ctx.role == Role::Library
+                        && next.is_some_and(|n| {
+                            n.kind == TokenKind::PathSep || n.kind == TokenKind::Not
+                        }) =>
+                    {
+                        push(
+                            "determinism::env-read",
+                            t.line,
+                            "environment reads make runs host-dependent; thread configuration through explicit parameters".to_string(),
+                        )
+                    }
+                    "option_env" if ctx.role == Role::Library && followed_by_bang => push(
+                        "determinism::env-read",
+                        t.line,
+                        "environment reads make runs host-dependent; thread configuration through explicit parameters".to_string(),
+                    ),
+                    // panic::unwrap / panic::expect — method position only.
+                    "unwrap" | "expect"
+                        if prev.is_some_and(|p| p.kind == TokenKind::Dot)
+                            && next.is_some_and(|n| n.kind == TokenKind::LParen) =>
+                    {
+                        let rule: &'static str = if name == "unwrap" {
+                            "panic::unwrap"
+                        } else {
+                            "panic::expect"
+                        };
+                        push(
+                            rule,
+                            t.line,
+                            format!("`.{name}()` can panic; return a typed error or justify the invariant with an allow directive"),
+                        )
+                    }
+                    "panic" | "unreachable" if followed_by_bang => push(
+                        "panic::macro",
+                        t.line,
+                        format!("`{name}!` aborts the episode; degrade through a typed error path instead"),
+                    ),
+                    "todo" | "unimplemented" if followed_by_bang => push(
+                        "hygiene::todo",
+                        t.line,
+                        format!("`{name}!` must not reach committed code"),
+                    ),
+                    "dbg" if followed_by_bang => push(
+                        "hygiene::dbg",
+                        t.line,
+                        "`dbg!` is a debugging leftover".to_string(),
+                    ),
+                    "print" | "println" | "eprint" | "eprintln"
+                        if ctx.role == Role::Library && followed_by_bang =>
+                    {
+                        push(
+                            "hygiene::print",
+                            t.line,
+                            format!("`{name}!` in library code; route output through the caller or the report layer"),
+                        )
+                    }
+                    // float::lossy-cast — `as f32` and float-literal casts.
+                    "as" => {
+                        if next.is_some_and(|n| n.kind.is_ident("f32")) {
+                            push(
+                                "float::lossy-cast",
+                                t.line,
+                                "`as f32` silently halves precision in physics code".to_string(),
+                            );
+                        } else if let Some(n) = next {
+                            let to_int =
+                                n.kind.ident().is_some_and(|id| INT_TYPES.contains(&id));
+                            if to_int && prev.is_some_and(|p| p.kind == TokenKind::Float) {
+                                push(
+                                    "float::lossy-cast",
+                                    t.line,
+                                    "float literal cast to an integer truncates; make the rounding explicit".to_string(),
+                                );
+                            } else if to_int
+                                && prev.is_some_and(|p| p.kind == TokenKind::RParen)
+                                && i >= 4
+                                && tokens.get(i - 2).is_some_and(|t| t.kind == TokenKind::LParen)
+                                && tokens.get(i - 3).is_some_and(|t| {
+                                    t.kind
+                                        .ident()
+                                        .is_some_and(|id| TRUNCATING_METHODS.contains(&id))
+                                })
+                                && tokens.get(i - 4).is_some_and(|t| t.kind == TokenKind::Dot)
+                            {
+                                push(
+                                    "float::lossy-cast",
+                                    t.line,
+                                    "rounded float cast straight to an integer; saturate or bound the value explicitly".to_string(),
+                                );
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // float::eq — a float literal on either side of ==/!=
+            // (one unary minus allowed on the right).
+            TokenKind::EqEq | TokenKind::Ne => {
+                let lhs_float = prev.is_some_and(|p| p.kind == TokenKind::Float);
+                let rhs_float = match next {
+                    Some(n) if n.kind == TokenKind::Float => true,
+                    Some(n) if n.kind == TokenKind::Minus => {
+                        next2.is_some_and(|n2| n2.kind == TokenKind::Float)
+                    }
+                    _ => false,
+                };
+                if lhs_float || rhs_float {
+                    let op = if t.kind == TokenKind::EqEq {
+                        "=="
+                    } else {
+                        "!="
+                    };
+                    push(
+                        "float::eq",
+                        t.line,
+                        format!("exact `{op}` against a float literal; use a tolerance or justify the sentinel"),
+                    );
+                }
+            }
+            // panic::indexing (opt-in) — `expr[...]` outside attributes.
+            TokenKind::LBracket if ctx.strict_indexing && !amask[i] => {
+                let indexes = prev.is_some_and(|p| {
+                    matches!(
+                        p.kind,
+                        TokenKind::Ident(_)
+                            | TokenKind::RParen
+                            | TokenKind::RBracket
+                            | TokenKind::Question
+                    )
+                });
+                if indexes {
+                    push(
+                        "panic::indexing",
+                        t.line,
+                        "bracket indexing can panic on out-of-range; prefer .get()/.get_mut()"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if ctx.is_crate_root {
+        let has = |outer: &str, inner: &str| {
+            tokens.windows(6).any(|w| {
+                w[0].kind == TokenKind::Pound
+                    && w[1].kind == TokenKind::Not
+                    && w[2].kind == TokenKind::LBracket
+                    && w[3].kind.is_ident(outer)
+                    && w[4].kind == TokenKind::LParen
+                    && w[5].kind.is_ident(inner)
+            })
+        };
+        if !has("forbid", "unsafe_code") {
+            push(
+                "headers::crate-lints",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+        if !(has("warn", "missing_docs")
+            || has("deny", "missing_docs")
+            || has("forbid", "missing_docs"))
+        {
+            push(
+                "headers::crate-lints",
+                1,
+                "crate root is missing `#![warn(missing_docs)]` (or stricter)".to_string(),
+            );
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn lint(src: &str) -> Vec<&'static str> {
+        lint_role(src, Role::Library)
+    }
+
+    fn lint_role(src: &str, role: Role) -> Vec<&'static str> {
+        let out = lexer::lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileContext {
+            rel_path: "x.rs".into(),
+            role,
+            is_crate_root: false,
+            strict_indexing: false,
+        };
+        check(&out.tokens, &ctx, &lines)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_core_patterns() {
+        assert_eq!(
+            lint("let m: HashMap<u32, f64> = x;"),
+            vec!["determinism::hash-collection"]
+        );
+        assert_eq!(lint("let v = o.unwrap();"), vec!["panic::unwrap"]);
+        assert_eq!(lint("let v = o.expect(\"m\");"), vec!["panic::expect"]);
+        assert_eq!(lint("panic!(\"boom\")"), vec!["panic::macro"]);
+        assert_eq!(lint("if x == 0.5 {}"), vec!["float::eq"]);
+        assert_eq!(lint("if x != -0.5 {}"), vec!["float::eq"]);
+        assert_eq!(lint("let y = x as f32;"), vec!["float::lossy-cast"]);
+        assert_eq!(
+            lint("let y = x.ceil() as usize;"),
+            vec!["float::lossy-cast"]
+        );
+        assert_eq!(lint("dbg!(x)"), vec!["hygiene::dbg"]);
+        assert_eq!(lint("todo!()"), vec!["hygiene::todo"]);
+        assert_eq!(lint("println!(\"x\")"), vec!["hygiene::print"]);
+        assert_eq!(
+            lint("let t = Instant::now();"),
+            vec!["determinism::wall-clock"]
+        );
+        assert_eq!(
+            lint("let v = std::env::var(\"X\");"),
+            vec!["determinism::env-read"]
+        );
+    }
+
+    #[test]
+    fn narrow_patterns_do_not_overfire() {
+        assert!(lint("let v = o.unwrap_or(0);").is_empty());
+        assert!(lint("let v = unwrap(x);").is_empty(), "free fn, not method");
+        assert!(
+            lint("if a == b {}").is_empty(),
+            "no literal, lexically unknowable"
+        );
+        assert!(lint("let n = 1 + 2;").is_empty());
+        assert!(lint("let y = x as f64;").is_empty());
+        assert!(
+            lint("assert!(x > 0.0);").is_empty(),
+            "assert! states an invariant"
+        );
+        assert!(lint("// HashMap unwrap() panic! in a comment").is_empty());
+        assert!(lint("let s = \"panic!\";").is_empty());
+    }
+
+    #[test]
+    fn harness_role_waives_timing_and_prints() {
+        let src = "let t = Instant::now(); println!(\"x\"); let v = std::env::var(\"X\");";
+        assert!(lint_role(src, Role::Harness).is_empty());
+        // …but not panics or hash collections.
+        assert_eq!(
+            lint_role("let m = HashMap::new(); x.unwrap();", Role::Harness),
+            vec!["determinism::hash-collection", "panic::unwrap"]
+        );
+    }
+
+    #[test]
+    fn test_gated_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); panic!(); }\n}\nfn lib() { y.unwrap(); }\n";
+        assert_eq!(lint(src), vec!["panic::unwrap"]);
+        let src2 = "#[test]\nfn t() { x.unwrap(); }\n";
+        assert!(lint(src2).is_empty());
+        let src3 = "#[cfg(test)]\nuse std::collections::HashSet;\nfn lib() {}\n";
+        assert!(lint(src3).is_empty());
+    }
+
+    #[test]
+    fn strict_indexing_is_opt_in() {
+        let src = "let v = xs[0];";
+        assert!(lint(src).is_empty());
+        let out = lexer::lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileContext {
+            rel_path: "x.rs".into(),
+            role: Role::Library,
+            is_crate_root: false,
+            strict_indexing: true,
+        };
+        let rules: Vec<_> = check(&out.tokens, &ctx, &lines)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(rules, vec!["panic::indexing"]);
+        // Attributes and array types never fire.
+        let src2 = "#[derive(Clone)]\nstruct S { a: [f64; 3] }";
+        let out2 = lexer::lex(src2);
+        let lines2: Vec<&str> = src2.lines().collect();
+        assert!(check(&out2.tokens, &ctx, &lines2).is_empty());
+    }
+
+    #[test]
+    fn crate_root_headers() {
+        let ctx = FileContext {
+            rel_path: "crates/x/src/lib.rs".into(),
+            role: Role::Library,
+            is_crate_root: true,
+            strict_indexing: false,
+        };
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+        let out = lexer::lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        assert!(check(&out.tokens, &ctx, &lines).is_empty());
+        let bad = "pub fn f() {}\n";
+        let outb = lexer::lex(bad);
+        let linesb: Vec<&str> = bad.lines().collect();
+        assert_eq!(check(&outb.tokens, &ctx, &linesb).len(), 2);
+    }
+
+    #[test]
+    fn known_rule_accepts_ids_and_families() {
+        assert!(known_rule("panic::unwrap"));
+        assert!(known_rule("panic"));
+        assert!(known_rule("determinism"));
+        assert!(!known_rule("panics"));
+        assert!(!known_rule("nope::rule"));
+    }
+}

@@ -1,0 +1,4 @@
+pub fn one(a: Option<u32>) -> u32 {
+    // hevlint::allow(panic, fixture: family prefix covers panic::expect)
+    a.expect("present by construction")
+}

@@ -1,0 +1,5 @@
+pub fn f(a: Option<u32>) -> u32 {
+    // hevlint::allow(panic::unwrap)
+    // hevlint::allow(no::such::rule, the rule id does not exist)
+    a.unwrap()
+}

@@ -1,0 +1,6 @@
+pub fn both(a: Option<u32>, b: Option<u32>) -> u32 {
+    // hevlint::allow(panic::unwrap, fixture: only the first unwrap is justified)
+    let x = a.unwrap();
+    let y = b.unwrap();
+    x + y
+}

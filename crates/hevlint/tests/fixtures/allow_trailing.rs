@@ -1,0 +1,3 @@
+pub fn one(a: Option<u32>) -> u32 {
+    a.unwrap() // hevlint::allow(panic::unwrap, fixture: trailing form targets its own line)
+}

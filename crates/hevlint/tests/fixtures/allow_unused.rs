@@ -1,0 +1,4 @@
+// hevlint::allow(panic::unwrap, fixture: nothing on the next line to suppress)
+pub fn clean() -> u32 {
+    7
+}

@@ -1,0 +1,3 @@
+pub fn probe(x: f64) -> f64 {
+    dbg!(x)
+}

@@ -1,0 +1,6 @@
+pub fn jobs() -> usize {
+    match std::env::var("HEV_JOBS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,3 @@
+pub fn parsed(s: &str) -> u32 {
+    s.parse().expect("caller guarantees digits")
+}

@@ -1,0 +1,3 @@
+pub fn is_stopped(speed_mps: f64) -> bool {
+    speed_mps == 0.0
+}

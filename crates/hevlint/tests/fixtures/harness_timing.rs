@@ -1,0 +1,7 @@
+pub fn timed_report(work: impl FnOnce()) -> f64 {
+    let t0 = std::time::Instant::now();
+    work();
+    let dt = t0.elapsed().as_secs_f64();
+    println!("wall time: {dt:.3} s");
+    dt
+}

@@ -1,0 +1,4 @@
+pub fn distinct(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}

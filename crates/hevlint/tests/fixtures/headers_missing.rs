@@ -1,0 +1,3 @@
+//! A crate root missing its mandatory lint headers.
+
+pub fn f() {}

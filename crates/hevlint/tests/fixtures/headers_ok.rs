@@ -1,0 +1,3 @@
+//! A compliant crate root.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,3 @@
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

@@ -1,0 +1,7 @@
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn bucket(x: f64) -> usize {
+    x.floor() as usize
+}

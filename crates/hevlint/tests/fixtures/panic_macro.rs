@@ -1,0 +1,7 @@
+pub fn gear_ratio(gear: usize) -> f64 {
+    match gear {
+        0 => 3.9,
+        1 => 2.1,
+        _ => unreachable!("gear out of range"),
+    }
+}

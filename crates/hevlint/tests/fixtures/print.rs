@@ -1,0 +1,3 @@
+pub fn log_step(t: f64) {
+    println!("t = {t}");
+}

@@ -1,0 +1,14 @@
+pub fn lib_code(x: f64) -> f64 {
+    x * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let parsed: u32 = "7".parse().unwrap();
+        assert_eq!(parsed, 7);
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+    }
+}

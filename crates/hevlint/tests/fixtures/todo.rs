@@ -1,0 +1,3 @@
+pub fn future_feature() {
+    todo!("regenerative braking curve")
+}

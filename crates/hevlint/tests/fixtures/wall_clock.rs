@@ -1,0 +1,5 @@
+pub fn elapsed_s(work: impl FnOnce()) -> f64 {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,283 @@
+//! Fixture-based golden tests: one tiny `.rs` fixture per rule, each
+//! pinned to the exact JSON diagnostics (`rule`, `file`, `line`,
+//! `snippet`, `severity`, `message`) the linter emits for it.
+//!
+//! The expected output lives in `tests/golden/<name>.json`. After a
+//! deliberate change to a rule's pattern or message, regenerate with
+//!
+//! ```text
+//! HEVLINT_BLESS=1 cargo test -p hevlint --test golden
+//! ```
+//!
+//! and review the golden diff like any other code change.
+//!
+//! The fixtures live under `tests/fixtures/`, which the workspace walk
+//! skips (`SKIP_DIRS`), so deliberately-violating fixture code never
+//! shows up in a real `hevlint` run.
+
+use hevlint::diagnostics::findings_to_json;
+use hevlint::{lint_source, Options};
+use std::path::{Path, PathBuf};
+
+/// One golden case: a fixture linted under a chosen workspace-relative
+/// path (the path decides role and crate-root status).
+struct Case {
+    /// Fixture file name under `tests/fixtures/`.
+    fixture: &'static str,
+    /// Golden file name under `tests/golden/`.
+    golden: &'static str,
+    /// Workspace-relative path the linter is told the fixture lives at.
+    rel_path: &'static str,
+    /// Run with `--strict-indexing`.
+    strict: bool,
+    /// Expected number of findings suppressed by allow directives.
+    suppressed: usize,
+}
+
+/// The fixture path feeds `role_for`, so `crates/fixtures/...` lints as
+/// library code and `crates/bench/...` as harness code.
+const CASES: &[Case] = &[
+    Case {
+        fixture: "hash_collection.rs",
+        golden: "hash_collection.json",
+        rel_path: "crates/fixtures/src/hash_collection.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "wall_clock.rs",
+        golden: "wall_clock.json",
+        rel_path: "crates/fixtures/src/wall_clock.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "env_read.rs",
+        golden: "env_read.json",
+        rel_path: "crates/fixtures/src/env_read.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "unwrap.rs",
+        golden: "unwrap.json",
+        rel_path: "crates/fixtures/src/unwrap.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "expect.rs",
+        golden: "expect.json",
+        rel_path: "crates/fixtures/src/expect.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "panic_macro.rs",
+        golden: "panic_macro.json",
+        rel_path: "crates/fixtures/src/panic_macro.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "float_eq.rs",
+        golden: "float_eq.json",
+        rel_path: "crates/fixtures/src/float_eq.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "lossy_cast.rs",
+        golden: "lossy_cast.json",
+        rel_path: "crates/fixtures/src/lossy_cast.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "print.rs",
+        golden: "print.json",
+        rel_path: "crates/fixtures/src/print.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "dbg.rs",
+        golden: "dbg.json",
+        rel_path: "crates/fixtures/src/dbg.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "todo.rs",
+        golden: "todo.json",
+        rel_path: "crates/fixtures/src/todo.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "indexing.rs",
+        golden: "indexing_strict.json",
+        rel_path: "crates/fixtures/src/indexing.rs",
+        strict: true,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "indexing.rs",
+        golden: "indexing_default.json",
+        rel_path: "crates/fixtures/src/indexing.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "allow_one.rs",
+        golden: "allow_one.json",
+        rel_path: "crates/fixtures/src/allow_one.rs",
+        strict: false,
+        suppressed: 1,
+    },
+    Case {
+        fixture: "allow_trailing.rs",
+        golden: "allow_trailing.json",
+        rel_path: "crates/fixtures/src/allow_trailing.rs",
+        strict: false,
+        suppressed: 1,
+    },
+    Case {
+        fixture: "allow_family.rs",
+        golden: "allow_family.json",
+        rel_path: "crates/fixtures/src/allow_family.rs",
+        strict: false,
+        suppressed: 1,
+    },
+    Case {
+        fixture: "allow_unused.rs",
+        golden: "allow_unused.json",
+        rel_path: "crates/fixtures/src/allow_unused.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "allow_malformed.rs",
+        golden: "allow_malformed.json",
+        rel_path: "crates/fixtures/src/allow_malformed.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "test_exempt.rs",
+        golden: "test_exempt.json",
+        rel_path: "crates/fixtures/src/test_exempt.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "harness_timing.rs",
+        golden: "harness_timing_harness.json",
+        rel_path: "crates/bench/src/harness_timing.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "harness_timing.rs",
+        golden: "harness_timing_library.json",
+        rel_path: "crates/fixtures/src/harness_timing.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "headers_missing.rs",
+        golden: "headers_missing.json",
+        rel_path: "crates/fixtures/src/lib.rs",
+        strict: false,
+        suppressed: 0,
+    },
+    Case {
+        fixture: "headers_ok.rs",
+        golden: "headers_ok.json",
+        rel_path: "crates/fixtures/src/lib.rs",
+        strict: false,
+        suppressed: 0,
+    },
+];
+
+fn testdata(sub: &str, name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(sub)
+        .join(name)
+}
+
+fn run_case(case: &Case) -> (String, usize) {
+    let src = std::fs::read_to_string(testdata("fixtures", case.fixture))
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", case.fixture));
+    let opts = Options {
+        strict_indexing: case.strict,
+    };
+    let (findings, suppressed) = lint_source(case.rel_path, &src, &opts);
+    (findings_to_json(&findings), suppressed)
+}
+
+#[test]
+fn golden_diagnostics_match() {
+    let bless = std::env::var_os("HEVLINT_BLESS").is_some();
+    for case in CASES {
+        let (actual, suppressed) = run_case(case);
+        assert_eq!(
+            suppressed, case.suppressed,
+            "{}: suppressed-count mismatch",
+            case.golden
+        );
+        let golden_path = testdata("golden", case.golden);
+        if bless {
+            std::fs::write(&golden_path, format!("{actual}\n"))
+                .unwrap_or_else(|e| panic!("cannot bless {}: {e}", case.golden));
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "golden {} unreadable ({e}); run with HEVLINT_BLESS=1 to create it",
+                case.golden
+            )
+        });
+        assert_eq!(
+            actual,
+            expected.trim_end_matches('\n'),
+            "{}: diagnostics drifted from golden (HEVLINT_BLESS=1 regenerates after a deliberate change)",
+            case.golden
+        );
+    }
+}
+
+/// The ISSUE-level contract, asserted directly rather than through the
+/// golden file: an allow directive suppresses precisely ONE finding —
+/// the second identical violation on the next line still fires.
+#[test]
+fn allow_directive_suppresses_precisely_one_finding() {
+    let case = CASES
+        .iter()
+        .find(|c| c.golden == "allow_one.json")
+        .expect("allow_one case present");
+    let src = std::fs::read_to_string(testdata("fixtures", case.fixture)).expect("fixture");
+    let (findings, suppressed) = lint_source(case.rel_path, &src, &Options::default());
+    assert_eq!(suppressed, 1, "exactly one finding suppressed");
+    assert_eq!(findings.len(), 1, "the uncovered unwrap still fires");
+    assert_eq!(findings[0].rule, "panic::unwrap");
+    assert_eq!(findings[0].line, 4);
+    assert_eq!(findings[0].snippet, "let y = b.unwrap();");
+}
+
+/// Same fixture, two roles: the harness path waives wall-clock and
+/// print; the library path flags both.
+#[test]
+fn role_decides_timing_and_print_rules() {
+    let src = std::fs::read_to_string(testdata("fixtures", "harness_timing.rs")).expect("fixture");
+    let opts = Options::default();
+    let (harness, _) = lint_source("crates/bench/src/harness_timing.rs", &src, &opts);
+    assert!(
+        harness.is_empty(),
+        "harness role waives timing/print: {harness:?}"
+    );
+    let (library, _) = lint_source("crates/fixtures/src/harness_timing.rs", &src, &opts);
+    let rules: Vec<_> = library.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["determinism::wall-clock", "hygiene::print"]);
+}

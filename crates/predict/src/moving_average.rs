@@ -52,8 +52,11 @@ impl Predictor for MovingAverage {
     fn observe(&mut self, measurement: f64) {
         self.buf.push_back(measurement);
         self.sum += measurement;
-        if self.buf.len() > self.window {
-            self.sum -= self.buf.pop_front().expect("buffer is non-empty");
+        while self.buf.len() > self.window {
+            let Some(front) = self.buf.pop_front() else {
+                break;
+            };
+            self.sum -= front;
         }
     }
 

@@ -83,8 +83,10 @@ impl MonteCarlo {
             g = r + self.gamma * g;
             returns[i] = g;
         }
-        // First-visit filter.
-        let mut seen = std::collections::HashSet::new();
+        // First-visit filter. BTreeSet rather than HashSet: membership is
+        // all we need, and the ordered set keeps this path free of hasher
+        // state (workspace determinism rule).
+        let mut seen = std::collections::BTreeSet::new();
         for (i, &(s, a, _)) in self.episode.iter().enumerate() {
             if !seen.insert((s, a)) {
                 continue;

@@ -22,6 +22,7 @@ fn greedy(q_row: &[f64], mask: &[bool]) -> usize {
             best = Some((a, v));
         }
     }
+    // hevlint::allow(panic::expect, documented trait invariant: ExplorationPolicy::select requires at least one eligible mask entry)
     best.expect("at least one action must be eligible").0
 }
 
@@ -37,6 +38,7 @@ fn random_eligible<R: Rng + ?Sized>(mask: &[bool], rng: &mut R) -> usize {
             k -= 1;
         }
     }
+    // hevlint::allow(panic::macro, the assert above established n eligible actions and k < n, so the loop always returns)
     unreachable!("counted eligible actions above")
 }
 
@@ -191,6 +193,7 @@ impl ExplorationPolicy for Softmax {
         // Floating-point tail: return the last eligible action.
         mask.iter()
             .rposition(|&ok| ok)
+            // hevlint::allow(panic::expect, documented trait invariant: select requires at least one eligible mask entry)
             .expect("eligible action exists")
     }
 }
@@ -234,6 +237,7 @@ pub fn ucb_select(q: &crate::QTable, s: usize, mask: Option<&[bool]>, exploratio
             best = Some((a, score));
         }
     }
+    // hevlint::allow(panic::expect, documented invariant: see the # Panics section of ucb_select)
     best.expect("at least one action must be eligible").0
 }
 

@@ -74,6 +74,7 @@ impl Schedule {
                 if floor <= 0.0 || initial <= floor || decay >= 1.0 {
                     return None;
                 }
+                // hevlint::allow(float::lossy-cast, episode count: constructor validation keeps initial > floor > 0 and 0 < decay < 1, so the ceil is a small positive integer)
                 Some(((floor / initial).ln() / decay.ln()).ceil() as usize)
             }
             Schedule::Harmonic {
@@ -84,6 +85,7 @@ impl Schedule {
                 if floor <= 0.0 || initial <= floor {
                     return None;
                 }
+                // hevlint::allow(float::lossy-cast, episode count: constructor validation keeps initial > floor > 0 and tau > 0, so the ceil is a small positive integer)
                 Some(((initial / floor - 1.0) * tau).ceil() as usize)
             }
         }

@@ -5,9 +5,15 @@
 //! entries up front — fine for the paper's ~10⁴-state spaces, wasteful
 //! for finer discretizations (a 10⁶-state space at 15 actions is 120 MB
 //! dense but only as large as its visited set here).
+//!
+//! Storage is a `BTreeMap`, not a `HashMap`: every iteration and
+//! serialization path walks entries in `(state, action)` key order, so
+//! snapshots and diagnostics are bit-identical regardless of insertion
+//! order or hasher seed (`hevlint`'s `determinism::hash-collection` rule
+//! enforces this workspace-wide).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A sparse `Q(s, a)` table: unvisited entries read as the default value
 /// and consume no memory.
@@ -27,8 +33,8 @@ use std::collections::HashMap;
 pub struct SparseQTable {
     n_actions: usize,
     default: f64,
-    entries: HashMap<(usize, usize), f64>,
-    visits: HashMap<(usize, usize), u32>,
+    entries: BTreeMap<(usize, usize), f64>,
+    visits: BTreeMap<(usize, usize), u32>,
 }
 
 impl SparseQTable {
@@ -43,8 +49,8 @@ impl SparseQTable {
         Self {
             n_actions,
             default,
-            entries: HashMap::new(),
-            visits: HashMap::new(),
+            entries: BTreeMap::new(),
+            visits: BTreeMap::new(),
         }
     }
 
@@ -100,6 +106,7 @@ impl SparseQTable {
                 best = Some((a, v));
             }
         }
+        // hevlint::allow(panic::expect, documented invariant: see the # Panics section; masks come from the action-feasibility layer which always leaves one action)
         best.expect("at least one action must be eligible").0
     }
 
@@ -126,6 +133,22 @@ impl SparseQTable {
     /// Number of state-action pairs visited at least once.
     pub fn coverage(&self) -> usize {
         self.visits.len()
+    }
+
+    /// Iterates the explicitly stored entries in ascending
+    /// `(state, action)` order.
+    ///
+    /// The order is deterministic (BTreeMap key order), so snapshot and
+    /// export paths that walk the table produce identical output for
+    /// identical contents, independent of write order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates the visited `(state, action)` pairs and their counts in
+    /// ascending key order.
+    pub fn iter_visits(&self) -> impl Iterator<Item = ((usize, usize), u32)> + '_ {
+        self.visits.iter().map(|(&k, &v)| (k, v))
     }
 
     /// The greedy action among visited eligible actions, or `None`.
@@ -216,5 +239,31 @@ mod tests {
     #[should_panic(expected = "at least one action")]
     fn argmax_needs_eligible_action() {
         SparseQTable::new(2, 0.0).argmax(0, Some(&[false, false]));
+    }
+
+    #[test]
+    fn iteration_order_is_sorted_and_insertion_independent() {
+        let writes = [(9usize, 1usize, -0.25f64), (2, 0, 0.5), (9, 0, 1.0)];
+        let mut fwd = SparseQTable::new(2, 0.0);
+        let mut rev = SparseQTable::new(2, 0.0);
+        for &(s, a, v) in &writes {
+            fwd.set(s, a, v);
+            fwd.visit(s, a);
+        }
+        for &(s, a, v) in writes.iter().rev() {
+            rev.set(s, a, v);
+            rev.visit(s, a);
+        }
+        let order: Vec<_> = fwd.iter_entries().collect();
+        assert_eq!(
+            order,
+            vec![((2, 0), 0.5), ((9, 0), 1.0), ((9, 1), -0.25)],
+            "entries iterate in (state, action) order"
+        );
+        assert_eq!(order, rev.iter_entries().collect::<Vec<_>>());
+        assert_eq!(
+            fwd.iter_visits().collect::<Vec<_>>(),
+            rev.iter_visits().collect::<Vec<_>>()
+        );
     }
 }

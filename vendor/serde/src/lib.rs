@@ -15,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -400,6 +400,39 @@ where
     }
 }
 
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Key order is the map's own (Ord) order: deterministic without
+        // the debug-format sort the HashMap impl needs.
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v.as_seq().ok_or_else(|| Error::ty("map entries", v))?;
+        let mut out = BTreeMap::new();
+        for entry in seq {
+            let pair = entry
+                .as_seq()
+                .ok_or_else(|| Error::ty("map entry", entry))?;
+            if pair.len() != 2 {
+                return Err(Error(format!("map entry has {} elements", pair.len())));
+            }
+            out.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +464,22 @@ mod tests {
 
     #[test]
     fn hashmap_round_trips_and_serializes_deterministically() {
+        let mut bt: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        bt.insert((9, 1), -0.25);
+        bt.insert((2, 0), 0.5);
+        let bv = bt.to_value();
+        // BTreeMap serializes in key order regardless of insertion order.
+        assert_eq!(
+            bv,
+            Value::Seq(vec![
+                Value::Seq(vec![(2usize, 0usize).to_value(), 0.5f64.to_value()]),
+                Value::Seq(vec![(9usize, 1usize).to_value(), (-0.25f64).to_value()]),
+            ])
+        );
+        assert_eq!(
+            BTreeMap::<(usize, usize), f64>::from_value(&bv).unwrap(),
+            bt
+        );
         let mut m: HashMap<(usize, usize), f64> = HashMap::new();
         m.insert((0, 1), 0.5);
         m.insert((2, 3), -1.5);
