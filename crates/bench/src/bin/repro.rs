@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR]
-//!       [--bench-json PATH] [--bench-baseline PATH]
+//!       [--metrics-json PATH] [--metrics-prom PATH]
+//!       [--trace PATH] [--trace-sample N]
+//!       [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT]
 //!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...
 //!
 //! targets:
@@ -25,12 +27,25 @@
 //! `robustness` target: each training run checkpoints its Q-table every
 //! `--checkpoint-every` episodes (default 25), and `--resume` picks up
 //! from existing checkpoint files bit-identically.
+//!
+//! `--metrics-json` / `--trace` enable the deterministic telemetry
+//! layer for the `fig2`, `table2`, and `fig3` targets: per-episode
+//! metrics snapshots and sampled step traces are collected in memory
+//! per run and written afterwards in task order, so the emitted files
+//! are byte-identical at every `--jobs` value. `--metrics-prom` writes
+//! the final registry snapshot in Prometheus text exposition format.
+//! Without these flags the telemetry code paths are never entered.
+//!
+//! `--bench-guard PCT` (with `--bench-json` and `--bench-baseline`)
+//! fails the process when the deterministic evals/step of the
+//! throughput workload regresses more than PCT percent vs the baseline.
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
 use hev_bench::perf::{self, StepThroughputReport};
 use hev_bench::robustness::{self, CheckpointOptions};
 use hev_control::harness::{runlog, RunEvent, RunLog};
+use hev_control::{RunTelemetry, TelemetryConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -47,6 +62,11 @@ fn main() -> ExitCode {
     let mut run_log: Option<String> = None;
     let mut bench_json: Option<PathBuf> = None;
     let mut bench_baseline: Option<PathBuf> = None;
+    let mut bench_guard: Option<f64> = None;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut metrics_prom: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut trace_sample: u64 = 1;
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every: usize = 25;
     let mut resume = false;
@@ -81,6 +101,26 @@ fn main() -> ExitCode {
                 Some(path) => bench_baseline = Some(PathBuf::from(path)),
                 None => return usage("--bench-baseline needs a path"),
             },
+            "--bench-guard" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) if pct >= 0.0 => bench_guard = Some(pct),
+                _ => return usage("--bench-guard needs a non-negative percentage"),
+            },
+            "--metrics-json" => match args.next() {
+                Some(path) => metrics_json = Some(PathBuf::from(path)),
+                None => return usage("--metrics-json needs a path"),
+            },
+            "--metrics-prom" => match args.next() {
+                Some(path) => metrics_prom = Some(PathBuf::from(path)),
+                None => return usage("--metrics-prom needs a path"),
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(PathBuf::from(path)),
+                None => return usage("--trace needs a path"),
+            },
+            "--trace-sample" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => trace_sample = n,
+                None => return usage("--trace-sample needs an integer (0 = no step traces)"),
+            },
             "--checkpoint-dir" => match args.next() {
                 Some(dir) => checkpoint_dir = Some(PathBuf::from(dir)),
                 None => return usage("--checkpoint-dir needs a directory"),
@@ -100,6 +140,21 @@ fn main() -> ExitCode {
     if targets.is_empty() && bench_json.is_none() {
         return usage("no target given");
     }
+    if bench_guard.is_some() && (bench_json.is_none() || bench_baseline.is_none()) {
+        return usage("--bench-guard needs both --bench-json and --bench-baseline");
+    }
+    // Telemetry stays fully disabled (and its code paths unentered)
+    // unless a telemetry output was requested.
+    let telemetry = TelemetryConfig {
+        metrics: metrics_json.is_some() || metrics_prom.is_some(),
+        trace_sample: if trace_path.is_some() {
+            trace_sample
+        } else {
+            0
+        },
+        flight_capacity: if trace_path.is_some() { 64 } else { 0 },
+    };
+    let mut collected: Vec<RunTelemetry> = Vec::new();
     if targets.iter().any(|t| t == "all") {
         targets = [
             "table1",
@@ -149,9 +204,9 @@ fn main() -> ExitCode {
         runlog::emit(&RunEvent::new("target_start", t.as_str()).jobs(cfg.harness().jobs()));
         match t.as_str() {
             "table1" => table1(),
-            "fig2" => fig2_target(&cfg, csv_dir.as_deref()),
-            "table2" => table2_target(&cfg, csv_dir.as_deref()),
-            "fig3" => fig3_target(&cfg, csv_dir.as_deref()),
+            "fig2" => collected.extend(fig2_target(&cfg, csv_dir.as_deref(), telemetry)),
+            "table2" => collected.extend(table2_target(&cfg, csv_dir.as_deref(), telemetry)),
+            "fig3" => collected.extend(fig3_target(&cfg, csv_dir.as_deref(), telemetry)),
             "dp-bound" => dp_bound(&cfg),
             "learning-curve" => learning_curve(&cfg),
             "ablation-action-space" => ablation(
@@ -182,12 +237,70 @@ fn main() -> ExitCode {
                 .elapsed(t0),
         );
     }
+    if let Err(code) = write_telemetry(
+        &collected,
+        metrics_json.as_deref(),
+        trace_path.as_deref(),
+        metrics_prom.as_deref(),
+    ) {
+        return code;
+    }
     if let Some(path) = &bench_json {
-        if let Err(code) = bench_throughput(&cfg, path, bench_baseline.as_deref()) {
+        if let Err(code) = bench_throughput(&cfg, path, bench_baseline.as_deref(), bench_guard) {
             return code;
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Writes the telemetry collected across all targets, concatenated in
+/// target order then task order — the same order at every `--jobs`
+/// value, so these files are byte-identical across worker counts.
+fn write_telemetry(
+    collected: &[RunTelemetry],
+    metrics_json: Option<&std::path::Path>,
+    trace_path: Option<&std::path::Path>,
+    metrics_prom: Option<&std::path::Path>,
+) -> Result<(), ExitCode> {
+    if let Some(path) = metrics_json {
+        let lines: Vec<String> = collected
+            .iter()
+            .flat_map(|r| r.metrics_lines.iter().cloned())
+            .collect();
+        let report = hev_trace::sink::write_jsonl(path, &lines).map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {}: {} metrics lines)", path.display(), report.lines);
+    }
+    if let Some(path) = trace_path {
+        let lines: Vec<String> = collected
+            .iter()
+            .flat_map(|r| r.trace_lines.iter().cloned())
+            .collect();
+        let report = hev_trace::sink::write_jsonl(path, &lines).map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {}: {} trace lines)", path.display(), report.lines);
+    }
+    if let Some(path) = metrics_prom {
+        // A scrape file wants one sample per series, so expose the last
+        // run's final registry snapshot (e.g. for a node_exporter
+        // textfile collector); the full history is in --metrics-json.
+        let text = collected
+            .iter()
+            .rev()
+            .find(|r| !r.prometheus.is_empty())
+            .map(|r| r.prometheus.as_str())
+            .unwrap_or("");
+        std::fs::write(path, text).map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {})", path.display());
+    }
+    Ok(())
 }
 
 /// Runs the single-threaded step-throughput workload and writes the
@@ -196,6 +309,7 @@ fn bench_throughput(
     cfg: &ExperimentConfig,
     path: &std::path::Path,
     baseline: Option<&std::path::Path>,
+    guard_pct: Option<f64>,
 ) -> Result<(), ExitCode> {
     println!(
         "\n== Step throughput: staged pipeline, single-threaded ({} train episodes) ==",
@@ -238,6 +352,17 @@ fn bench_throughput(
         ExitCode::FAILURE
     })?;
     println!("(wrote {})", path.display());
+    if let Some(pct) = guard_pct {
+        // Wall-clock throughput is machine-dependent, but evals/step is
+        // deterministic: a growth means the hot loop does more model
+        // evaluations per simulated step than the committed baseline —
+        // e.g. telemetry cost leaking into the disabled path.
+        report.guard_evals(pct).map_err(|msg| {
+            eprintln!("error: bench guard: {msg}");
+            ExitCode::FAILURE
+        })?;
+        println!("(bench guard: evals/step within {pct}% of baseline)");
+    }
     Ok(())
 }
 
@@ -247,14 +372,20 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
-         [--bench-json PATH] [--bench-baseline PATH] \
+         [--metrics-json PATH] [--metrics-prom PATH] [--trace PATH] [--trace-sample N] \
+         [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT] \
          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
          ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
          --run-log writes JSON-lines progress/timing to PATH ('-' = stderr).\n\
+         --metrics-json writes per-episode metrics JSONL for fig2/table2/fig3;\n\
+         --metrics-prom writes the final snapshot in Prometheus text format;\n\
+         --trace writes every --trace-sample'th step as a JSONL trace event (plus\n\
+         flight-recorder dumps on degradation); files are byte-identical at every --jobs.\n\
          --bench-json runs the single-threaded step-throughput workload and writes a\n\
-         machine-readable report; --bench-baseline compares against a previous report.\n\
+         machine-readable report; --bench-baseline compares against a previous report;\n\
+         --bench-guard fails the run when evals/step regresses more than PCT percent.\n\
          --checkpoint-dir enables crash-tolerant training for the robustness target\n\
          (checkpoint every --checkpoint-every episodes; --resume restarts bit-identically)."
     );
@@ -294,8 +425,12 @@ fn write_csv(dir: Option<&std::path::Path>, name: &str, header: &str, rows: &[St
     }
 }
 
-fn fig2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
-    let rows = experiments::fig2(cfg);
+fn fig2_target(
+    cfg: &ExperimentConfig,
+    csv: Option<&std::path::Path>,
+    telemetry: TelemetryConfig,
+) -> Vec<RunTelemetry> {
+    let (rows, runs) = experiments::fig2_with_telemetry(cfg, telemetry);
     write_csv(
         csv,
         "fig2",
@@ -311,6 +446,7 @@ fn fig2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
             .collect::<Vec<_>>(),
     );
     fig2_print(cfg, &rows);
+    runs
 }
 
 fn fig2_print(cfg: &ExperimentConfig, rows: &[experiments::Fig2Row]) {
@@ -338,8 +474,12 @@ fn fig2_print(cfg: &ExperimentConfig, rows: &[experiments::Fig2Row]) {
     println!("(paper: prediction-only fuel saving up to 12%)");
 }
 
-fn table2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
-    let rows = experiments::table2(cfg);
+fn table2_target(
+    cfg: &ExperimentConfig,
+    csv: Option<&std::path::Path>,
+    telemetry: TelemetryConfig,
+) -> Vec<RunTelemetry> {
+    let (rows, runs) = experiments::table2_with_telemetry(cfg, telemetry);
     write_csv(
         csv,
         "table2",
@@ -361,6 +501,7 @@ fn table2_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
             .collect::<Vec<_>>(),
     );
     table2_print(cfg, &rows);
+    runs
 }
 
 fn table2_print(cfg: &ExperimentConfig, rows: &[experiments::Table2Row]) {
@@ -393,8 +534,12 @@ fn table2_print(cfg: &ExperimentConfig, rows: &[experiments::Table2Row]) {
     );
 }
 
-fn fig3_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
-    let rows = experiments::fig3(cfg);
+fn fig3_target(
+    cfg: &ExperimentConfig,
+    csv: Option<&std::path::Path>,
+    telemetry: TelemetryConfig,
+) -> Vec<RunTelemetry> {
+    let (rows, runs) = experiments::fig3_with_telemetry(cfg, telemetry);
     write_csv(
         csv,
         "fig3",
@@ -410,6 +555,7 @@ fn fig3_target(cfg: &ExperimentConfig, csv: Option<&std::path::Path>) {
             .collect::<Vec<_>>(),
     );
     fig3_print(cfg, &rows);
+    runs
 }
 
 fn fig3_print(cfg: &ExperimentConfig, rows: &[experiments::Fig3Row]) {

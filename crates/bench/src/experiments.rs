@@ -5,9 +5,9 @@
 
 use drive_cycle::StandardCycle;
 use hev_control::{
-    simulate, DpConfig, EcmsController, EpisodeMetrics, Harness, JointController,
+    simulate, DpConfig, EcmsController, EpisodeMetrics, EpisodeTelemetry, Harness, JointController,
     JointControllerConfig, MetricsSummary, RewardConfig, RuleBasedController, RunSpec,
-    SeedSequence,
+    RunTelemetry, SeedSequence, TelemetryConfig,
 };
 use hev_model::{HevParams, ParallelHev, FUEL_LHV_J_PER_G};
 use serde::{Deserialize, Serialize};
@@ -196,6 +196,16 @@ pub struct Fig2Row {
 /// Figure 2: normalized fuel consumption of the RL framework with and
 /// without driving-profile prediction on OSCAR, UDDS, MODEM.
 pub fn fig2(cfg: &ExperimentConfig) -> Vec<Fig2Row> {
+    fig2_with_telemetry(cfg, TelemetryConfig::disabled()).0
+}
+
+/// [`fig2`] plus per-run telemetry (see [`train_eval_grid_telemetry`]
+/// for the ordering contract). With a disabled config this takes the
+/// exact untelemetered code path and returns no telemetry.
+pub fn fig2_with_telemetry(
+    cfg: &ExperimentConfig,
+    telemetry: TelemetryConfig,
+) -> (Vec<Fig2Row>, Vec<RunTelemetry>) {
     let set = [
         StandardCycle::Oscar,
         StandardCycle::Udds,
@@ -206,8 +216,9 @@ pub fn fig2(cfg: &ExperimentConfig) -> Vec<Fig2Row> {
         ("with", JointControllerConfig::proposed()),
         ("without", JointControllerConfig::without_prediction()),
     ];
-    let grid = train_eval_grid("fig2", &cycles, &variants, cfg);
-    set.iter()
+    let (grid, runs) = train_eval_grid_telemetry("fig2", &cycles, &variants, cfg, telemetry);
+    let rows = set
+        .iter()
         .zip(&grid)
         .map(|(sc, per_variant)| {
             // Compare charge-corrected fuel so a deeper battery draw does
@@ -221,7 +232,8 @@ pub fn fig2(cfg: &ExperimentConfig) -> Vec<Fig2Row> {
                 normalized: fw / fo,
             }
         })
-        .collect()
+        .collect();
+    (rows, runs)
 }
 
 /// Fuel plus the fuel-equivalent of any net battery depletion, g.
@@ -265,11 +277,22 @@ pub fn corrected_reward(m: &EpisodeMetrics) -> f64 {
 /// Table 2: cumulative reward `Σ(−ṁ_f + w·f_aux)·ΔT` of the proposed
 /// joint controller vs the rule-based policy on OSCAR, UDDS, SC03, HWFET.
 pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
+    table2_with_telemetry(cfg, TelemetryConfig::disabled()).0
+}
+
+/// [`table2`] plus per-run telemetry (see [`train_eval_grid_telemetry`]
+/// for the ordering contract). With a disabled config this takes the
+/// exact untelemetered code path and returns no telemetry.
+pub fn table2_with_telemetry(
+    cfg: &ExperimentConfig,
+    telemetry: TelemetryConfig,
+) -> (Vec<Table2Row>, Vec<RunTelemetry>) {
     let set = StandardCycle::paper_set();
     let cycles: Vec<_> = set.iter().map(|sc| sc.cycle()).collect();
     let variants = [("proposed", JointControllerConfig::proposed())];
-    let grid = train_eval_grid("table2", &cycles, &variants, cfg);
-    set.iter()
+    let (grid, runs) = train_eval_grid_telemetry("table2", &cycles, &variants, cfg, telemetry);
+    let rows = set
+        .iter()
         .zip(cycles.iter().zip(&grid))
         .map(|(sc, (cycle, per_variant))| {
             let proposed = &per_variant[0];
@@ -284,7 +307,8 @@ pub fn table2(cfg: &ExperimentConfig) -> Vec<Table2Row> {
                 rule_delta_soc: rule.soc_final - rule.soc_initial,
             }
         })
-        .collect()
+        .collect();
+    (rows, runs)
 }
 
 // ---------------------------------------------------------------------
@@ -307,11 +331,22 @@ pub struct Fig3Row {
 /// Figure 3: MPG achieved by the proposed joint controller vs the
 /// rule-based policy on the paper's four cycles.
 pub fn fig3(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
+    fig3_with_telemetry(cfg, TelemetryConfig::disabled()).0
+}
+
+/// [`fig3`] plus per-run telemetry (see [`train_eval_grid_telemetry`]
+/// for the ordering contract). With a disabled config this takes the
+/// exact untelemetered code path and returns no telemetry.
+pub fn fig3_with_telemetry(
+    cfg: &ExperimentConfig,
+    telemetry: TelemetryConfig,
+) -> (Vec<Fig3Row>, Vec<RunTelemetry>) {
     let set = StandardCycle::paper_set();
     let cycles: Vec<_> = set.iter().map(|sc| sc.cycle()).collect();
     let variants = [("proposed", JointControllerConfig::proposed())];
-    let grid = train_eval_grid("fig3", &cycles, &variants, cfg);
-    set.iter()
+    let (grid, runs) = train_eval_grid_telemetry("fig3", &cycles, &variants, cfg, telemetry);
+    let rows = set
+        .iter()
         .zip(cycles.iter().zip(&grid))
         .map(|(sc, (cycle, per_variant))| {
             let rule = run_rule_based(cycle, cfg);
@@ -324,7 +359,8 @@ pub fn fig3(cfg: &ExperimentConfig) -> Vec<Fig3Row> {
                 improvement_pct: (p / r - 1.0) * 100.0,
             }
         })
-        .collect()
+        .collect();
+    (rows, runs)
 }
 
 // ---------------------------------------------------------------------
@@ -443,6 +479,31 @@ fn train_eval_seeded(
     agent.evaluate(&mut hev, cycle)
 }
 
+/// [`train_eval_seeded`] with a telemetry collector threaded through
+/// every training episode and the final greedy evaluation. All recorded
+/// lines stay in memory inside the returned [`RunTelemetry`]; the caller
+/// writes them in task order, which keeps files byte-identical at every
+/// worker count.
+fn train_eval_seeded_telemetry(
+    mut controller_cfg: JointControllerConfig,
+    cycle: &drive_cycle::DriveCycle,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    label: &str,
+    telemetry: TelemetryConfig,
+) -> (EpisodeMetrics, RunTelemetry) {
+    controller_cfg.initial_soc = cfg.initial_soc;
+    controller_cfg.seed = seed;
+    let mut hev = fresh_hev(cfg.initial_soc);
+    let mut agent = JointController::new(controller_cfg);
+    let portfolio = jitter_portfolio(cycle, seed, cfg);
+    let rounds = (cfg.episodes / portfolio.len()).max(1);
+    let mut collector = EpisodeTelemetry::new(label, telemetry);
+    agent.train_portfolio_instrumented(&mut hev, &portfolio, rounds, Some(&mut collector));
+    let metrics = agent.evaluate_instrumented(&mut hev, cycle, Some(&mut collector));
+    (metrics, collector.into_run())
+}
+
 /// Trains `cfg.runs` independent controllers (seed-split from
 /// `cfg.seed`) and returns every greedy evaluation, fanned across
 /// `cfg.jobs` workers. Bit-identical at every worker count.
@@ -484,6 +545,60 @@ pub fn train_eval_grid(
     cfg: &ExperimentConfig,
 ) -> Vec<Vec<Vec<EpisodeMetrics>>> {
     let runs = cfg.runs.max(1);
+    let tasks = grid_tasks(group, cycles, variants, cfg);
+    let flat = cfg.harness().run(group, tasks, |_, seed, (ci, vi)| {
+        train_eval_seeded(variants[vi].1.clone(), &cycles[ci], cfg, seed)
+    });
+    nest_grid(flat, cycles.len(), variants.len(), runs)
+}
+
+/// [`train_eval_grid`] that additionally collects per-run telemetry.
+///
+/// The second element holds one [`RunTelemetry`] per grid task in task
+/// order (cycle-major, then variant, then run index) — the same order
+/// at every `--jobs` value, so concatenating the runs' lines yields
+/// byte-identical files regardless of worker count. A disabled
+/// `telemetry` config short-circuits to the exact [`train_eval_grid`]
+/// code path and returns no telemetry.
+pub fn train_eval_grid_telemetry(
+    group: &str,
+    cycles: &[drive_cycle::DriveCycle],
+    variants: &[(&str, JointControllerConfig)],
+    cfg: &ExperimentConfig,
+    telemetry: TelemetryConfig,
+) -> (Vec<Vec<Vec<EpisodeMetrics>>>, Vec<RunTelemetry>) {
+    if !telemetry.is_enabled() {
+        return (train_eval_grid(group, cycles, variants, cfg), Vec::new());
+    }
+    let runs = cfg.runs.max(1);
+    let tasks = grid_tasks(group, cycles, variants, cfg);
+    let labels: Vec<String> = tasks.iter().map(|t| t.label.clone()).collect();
+    let flat = cfg.harness().run(group, tasks, |i, seed, (ci, vi)| {
+        train_eval_seeded_telemetry(
+            variants[vi].1.clone(),
+            &cycles[ci],
+            cfg,
+            seed,
+            &labels[i],
+            telemetry,
+        )
+    });
+    let (metrics, collected): (Vec<_>, Vec<_>) = flat.into_iter().unzip();
+    (
+        nest_grid(metrics, cycles.len(), variants.len(), runs),
+        collected,
+    )
+}
+
+/// The flat task list of a `(cycle × variant × run)` grid, in the fixed
+/// cycle-major order every grid consumer relies on.
+fn grid_tasks(
+    group: &str,
+    cycles: &[drive_cycle::DriveCycle],
+    variants: &[(&str, JointControllerConfig)],
+    cfg: &ExperimentConfig,
+) -> Vec<RunSpec<(usize, usize)>> {
+    let runs = cfg.runs.max(1);
     let seq = SeedSequence::new(cfg.seed);
     let mut tasks = Vec::with_capacity(cycles.len() * variants.len() * runs);
     for (ci, cycle) in cycles.iter().enumerate() {
@@ -497,15 +612,15 @@ pub fn train_eval_grid(
             }
         }
     }
-    let flat = cfg.harness().run(group, tasks, |_, seed, (ci, vi)| {
-        train_eval_seeded(variants[vi].1.clone(), &cycles[ci], cfg, seed)
-    });
+    tasks
+}
+
+/// Reshapes a flat grid result back to `[cycle][variant][run]`.
+fn nest_grid<T>(flat: Vec<T>, n_cycles: usize, n_variants: usize, runs: usize) -> Vec<Vec<Vec<T>>> {
     let mut iter = flat.into_iter();
-    cycles
-        .iter()
+    (0..n_cycles)
         .map(|_| {
-            variants
-                .iter()
+            (0..n_variants)
                 .map(|_| {
                     (0..runs)
                         // hevlint::allow(panic::expect, structural: the harness returns one result per submitted grid cell)

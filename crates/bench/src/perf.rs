@@ -5,9 +5,10 @@
 //! seconds, simulated control steps per second, and how many
 //! peek-equivalent model evaluations each step costs (feasibility
 //! probes, inner-optimization grid points, ternary refinements — see
-//! [`hev_model::instrument`]). The report is machine-readable JSON so CI
+//! [`hev_trace::evals`]). The report is machine-readable JSON so CI
 //! can archive it and a later run can compare against a committed
-//! baseline with [`StepThroughputReport::with_baseline`].
+//! baseline with [`StepThroughputReport::with_baseline`], or enforce a
+//! regression bound with [`StepThroughputReport::guard_evals`].
 //!
 //! The measured workload is deliberately single-threaded: one
 //! [`JointController`] trained for a few episodes on UDDS and then
@@ -87,6 +88,38 @@ impl StepThroughputReport {
         self.baseline = Some(baseline);
         self
     }
+
+    /// Enforces the telemetry-overhead guard against the attached
+    /// baseline.
+    ///
+    /// The guarded quantity is `evals_per_step`, not wall-clock: model
+    /// evaluations per control step are deterministic for a fixed
+    /// workload, so the guard gives the same verdict on a loaded CI
+    /// runner as on a quiet laptop. Telemetry is designed to be
+    /// zero-overhead when disabled; this catches anyone accidentally
+    /// adding per-step evaluation work to the disabled path.
+    ///
+    /// Returns `Err` with a human-readable explanation when
+    /// `current.evals_per_step` exceeds the baseline by more than
+    /// `max_regression_pct` percent. A missing baseline passes (nothing
+    /// to compare against).
+    pub fn guard_evals(&self, max_regression_pct: f64) -> Result<(), String> {
+        let Some(baseline) = &self.baseline else {
+            return Ok(());
+        };
+        if baseline.evals_per_step <= 0.0 {
+            return Ok(());
+        }
+        let regression_pct = (self.current.evals_per_step / baseline.evals_per_step - 1.0) * 100.0;
+        if regression_pct > max_regression_pct {
+            return Err(format!(
+                "evals/step regressed {regression_pct:.3}% (current {:.4} vs baseline {:.4}, \
+                 allowed {max_regression_pct}%)",
+                self.current.evals_per_step, baseline.evals_per_step
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Runs the standard throughput workload and times it.
@@ -104,12 +137,12 @@ pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, T
     let mut agent = JointController::new(cfg);
     let mut hev = fresh_hev(0.6);
 
-    hev_model::instrument::reset_evals();
+    hev_trace::evals::reset();
     let t0 = Instant::now();
     agent.train(&mut hev, &cycle, train_episodes);
     let metrics = agent.evaluate(&mut hev, &cycle);
     let wall_s = t0.elapsed().as_secs_f64();
-    let evals = hev_model::instrument::evals();
+    let evals = hev_trace::evals::count();
 
     let steps_per_episode = metrics.steps as u64;
     let steps = steps_per_episode * (train_episodes as u64 + 1);
@@ -182,5 +215,30 @@ mod tests {
         assert_eq!(back, report);
         let speedup = back.speedup.unwrap();
         assert!((speedup - 13700.0 / 9133.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_passes_within_budget_and_fails_beyond() {
+        let workload = Workload {
+            cycle: "UDDS".to_string(),
+            train_episodes: 4,
+            seed: 42,
+        };
+        let mk = |evals_per_step: f64| ThroughputSample {
+            wall_s: 1.0,
+            steps: 1000,
+            steps_per_sec: 1000.0,
+            evals: (evals_per_step * 1000.0) as u64,
+            evals_per_step,
+        };
+        let report =
+            StepThroughputReport::new(workload.clone(), mk(101.0)).with_baseline(mk(100.0));
+        assert!(report.guard_evals(2.0).is_ok(), "1% regression within 2%");
+        let report =
+            StepThroughputReport::new(workload.clone(), mk(103.0)).with_baseline(mk(100.0));
+        let err = report.guard_evals(2.0).unwrap_err();
+        assert!(err.contains("regressed"), "message explains: {err}");
+        let report = StepThroughputReport::new(workload, mk(103.0));
+        assert!(report.guard_evals(2.0).is_ok(), "no baseline passes");
     }
 }

@@ -1,0 +1,216 @@
+//! Determinism and observer-effect tests for the telemetry layer.
+//!
+//! The telemetry contract has three legs:
+//!
+//! 1. **byte-identity across workers** — the JSONL lines a telemetry-
+//!    enabled grid emits are byte-identical at every `--jobs` value,
+//!    because lines are collected per task and concatenated in task
+//!    order;
+//! 2. **no observer effect** — enabling telemetry changes *nothing*
+//!    about the physics or learning: metrics rows and trained Q-tables
+//!    are bit-identical with and without collection;
+//! 3. **flight recorder** — forced degradation dumps the ring, and the
+//!    dump carries the offending step's state, action, and reward
+//!    terms.
+
+use drive_cycle::StandardCycle;
+use hev_bench::experiments::{self, ExperimentConfig};
+use hev_control::{
+    simulate_instrumented, ControlError, DecisionInfo, EpisodeTelemetry, HevPolicy,
+    JointController, JointControllerConfig, Observation, PolicyTelemetry, RewardConfig,
+    SupervisedPolicy, TelemetryConfig,
+};
+use hev_model::{ControlInput, ParallelHev, StepOutcome};
+
+fn tiny(jobs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        episodes: 6,
+        runs: 2,
+        jobs,
+        ..Default::default()
+    }
+}
+
+fn sampled() -> TelemetryConfig {
+    TelemetryConfig {
+        metrics: true,
+        trace_sample: 25,
+        flight_capacity: 16,
+    }
+}
+
+/// Leg 1: the concatenated metrics/trace line streams of a telemetry-
+/// enabled fig2 are byte-identical at every worker count.
+#[test]
+fn telemetry_lines_identical_across_worker_counts() {
+    let (rows1, runs1) = experiments::fig2_with_telemetry(&tiny(1), sampled());
+    let flatten = |runs: &[hev_control::RunTelemetry]| {
+        let metrics: Vec<String> = runs
+            .iter()
+            .flat_map(|r| r.metrics_lines.iter().cloned())
+            .collect();
+        let trace: Vec<String> = runs
+            .iter()
+            .flat_map(|r| r.trace_lines.iter().cloned())
+            .collect();
+        (metrics, trace)
+    };
+    let serial = flatten(&runs1);
+    assert!(!serial.0.is_empty(), "metrics lines were collected");
+    assert!(!serial.1.is_empty(), "trace lines were collected");
+    for jobs in [2, 4] {
+        let (rows_n, runs_n) = experiments::fig2_with_telemetry(&tiny(jobs), sampled());
+        assert_eq!(rows1, rows_n, "rows diverged at {jobs} workers");
+        assert_eq!(
+            serial,
+            flatten(&runs_n),
+            "telemetry lines diverged at {jobs} workers"
+        );
+    }
+    // Labels arrive in the fixed cycle-major task order.
+    assert_eq!(runs1[0].label, "fig2/OSCAR/with/run0");
+    assert_eq!(runs1[1].label, "fig2/OSCAR/with/run1");
+}
+
+/// Leg 2a: a telemetry-enabled grid reports the same metrics as the
+/// plain grid — observation must not perturb physics or learning.
+#[test]
+fn enabled_telemetry_has_no_observer_effect_on_metrics() {
+    let cfg = tiny(2);
+    let plain = experiments::fig2(&cfg);
+    let (observed, runs) = experiments::fig2_with_telemetry(&cfg, sampled());
+    assert_eq!(plain, observed);
+    assert!(!runs.is_empty());
+}
+
+/// Leg 2b: training through the instrumented path with a zero-sample,
+/// metrics-off collector yields a bit-identical trained controller to
+/// the plain untelemetered path (the `--trace-sample 0` acceptance).
+#[test]
+fn disabled_collector_yields_bit_identical_q_tables() {
+    let cycle = StandardCycle::Oscar.cycle();
+    let train = |telemetry: Option<TelemetryConfig>| {
+        let mut cfg = JointControllerConfig::proposed();
+        cfg.seed = 42;
+        let mut hev = experiments::fresh_hev(cfg.initial_soc);
+        let mut agent = JointController::new(cfg);
+        let portfolio = vec![cycle.clone()];
+        match telemetry {
+            None => {
+                agent.train_portfolio(&mut hev, &portfolio, 4);
+                (agent.snapshot(), agent.evaluate(&mut hev, &cycle))
+            }
+            Some(t) => {
+                let mut collector = EpisodeTelemetry::new("t", t);
+                agent.train_portfolio_instrumented(&mut hev, &portfolio, 4, Some(&mut collector));
+                let m = agent.evaluate_instrumented(&mut hev, &cycle, Some(&mut collector));
+                let run = collector.into_run();
+                assert!(run.metrics_lines.is_empty() && run.trace_lines.is_empty());
+                (agent.snapshot(), m)
+            }
+        }
+    };
+    let (plain_snapshot, plain_eval) = train(None);
+    let (traced_snapshot, traced_eval) = train(Some(TelemetryConfig::disabled()));
+    assert_eq!(plain_snapshot, traced_snapshot, "trained state diverged");
+    assert_eq!(plain_eval, traced_eval, "evaluation diverged");
+}
+
+/// A policy that asks its inner joint controller for a decision, then
+/// corrupts the current to NaN — the supervisor must reject every step.
+struct Corrupt {
+    inner: JointController,
+}
+
+impl HevPolicy for Corrupt {
+    fn begin_episode(&mut self) {
+        self.inner.begin_episode();
+    }
+
+    fn decide(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> ControlInput {
+        let mut control = self.inner.decide(hev, obs);
+        control.battery_current_a = f64::NAN;
+        control
+    }
+
+    fn feedback(
+        &mut self,
+        hev: &ParallelHev,
+        obs: &Observation<'_>,
+        outcome: &StepOutcome,
+        reward: f64,
+    ) {
+        self.inner.feedback(hev, obs, outcome, reward);
+    }
+
+    fn end_episode(&mut self) {
+        self.inner.end_episode();
+    }
+
+    fn take_control_error(&mut self) -> Option<ControlError> {
+        self.inner.take_control_error()
+    }
+
+    fn set_record_decisions(&mut self, on: bool) {
+        self.inner.set_record_decisions(on);
+    }
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.inner.last_decision()
+    }
+
+    fn telemetry_snapshot(&self) -> Option<PolicyTelemetry> {
+        self.inner.telemetry_snapshot()
+    }
+}
+
+/// Leg 3: forced supervisor degradation dumps the flight ring, and the
+/// dump's events carry the offending step's state, action, and reward
+/// terms.
+#[test]
+fn forced_degradation_dumps_flight_recorder_with_decision_context() {
+    let cycle = StandardCycle::Oscar.cycle();
+    let mut cfg = JointControllerConfig::proposed();
+    cfg.seed = 42;
+    let mut agent = JointController::new(cfg);
+    agent.set_training(false);
+    let mut supervised = SupervisedPolicy::new(Corrupt { inner: agent });
+    let mut hev = experiments::fresh_hev(0.6);
+    let telemetry = TelemetryConfig {
+        metrics: false,
+        trace_sample: 0,
+        flight_capacity: 16,
+    };
+    let mut collector = EpisodeTelemetry::new("forced", telemetry);
+    simulate_instrumented(
+        &mut hev,
+        &cycle,
+        &mut supervised,
+        &RewardConfig::default(),
+        None,
+        Some(&mut collector),
+    );
+    let run = collector.into_run();
+    let dump = run
+        .trace_lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"flight_dump\""))
+        .expect("degradation produced a flight dump");
+    assert!(dump.contains("\"trigger\":\"supervisor_degradation\""));
+    // Step 0 is the first rejection, so the ring holds exactly that
+    // step's event, with the decision context and reward decomposition.
+    assert!(dump.contains("\"step\":0"));
+    assert!(dump.contains("\"state\":"), "dump carries the state index");
+    assert!(!dump.contains("\"state\":null"), "state index is concrete");
+    assert!(dump.contains("\"action\":"), "dump carries the action");
+    assert!(dump.contains("\"reward\":"), "dump carries the reward");
+    assert!(dump.contains("\"fuel_g\":"), "dump carries the fuel term");
+    assert!(dump.contains("\"aux_term\":"), "dump carries the aux term");
+    // Exactly one dump per episode even though every step degraded.
+    let dumps = run
+        .trace_lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"flight_dump\""))
+        .count();
+    assert_eq!(dumps, 1);
+}

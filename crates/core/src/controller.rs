@@ -12,12 +12,15 @@ use crate::action::ActionSpace;
 use crate::inner_opt::{InnerOptimizer, ResolvedAction};
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
-use crate::sim::{fallback_control, simulate, ControlError, HevPolicy, Observation};
+use crate::sim::{
+    fallback_control, simulate, simulate_instrumented, ControlError, HevPolicy, Observation,
+};
 use crate::state::{StateSample, StateSpace, StateSpaceConfig};
+use crate::telemetry::{DecisionInfo, EpisodeTelemetry, PolicyTelemetry};
 use drive_cycle::DriveCycle;
 use hev_model::{ControlInput, ParallelHev, StepOutcome};
 use hev_predict::{Ewma, Predictor};
-use hev_rl::{DecayingEpsilon, ExplorationPolicy, TdLambda, TdLambdaConfig};
+use hev_rl::{DecayingEpsilon, ExplorationPolicy, QStats, TdLambda, TdLambdaConfig, TdStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -149,6 +152,18 @@ pub struct JointController<P: Predictor = Ewma> {
     /// degrades gracefully — masked infeasible / skipped / fallen back —
     /// instead of panicking mid-episode.
     last_error: Option<ControlError>,
+    /// Whether per-decision telemetry recording is on
+    /// ([`HevPolicy::set_record_decisions`]). Off by default: the
+    /// recording branches below are then never taken, so un-instrumented
+    /// runs are bit-identical to a build without telemetry. Deliberately
+    /// *not* part of [`ControllerSnapshot`] — observability must never
+    /// change the persisted learner schema.
+    record_stats: bool,
+    /// TD-error statistics for the current episode (only fed while
+    /// `record_stats` is on).
+    td_stats: TdStats,
+    /// The latest decision's telemetry, for [`HevPolicy::last_decision`].
+    last_decision: Option<DecisionInfo>,
 }
 
 /// Decodes a full-space action into a complete [`ControlInput`],
@@ -266,6 +281,9 @@ impl<P: Predictor> JointController<P> {
             awaiting_reward: None,
             scratch: StepScratch::default(),
             last_error: None,
+            record_stats: false,
+            td_stats: TdStats::new(),
+            last_decision: None,
         }
     }
 
@@ -320,6 +338,27 @@ impl<P: Predictor> JointController<P> {
         simulate(hev, cycle, self, &reward)
     }
 
+    /// [`JointController::train_episode`] with an optional telemetry
+    /// collector (labelled `"train"`). With `None` this delegates to the
+    /// plain path, bit-identically.
+    pub fn train_episode_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        cycle: &DriveCycle,
+        telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> EpisodeMetrics {
+        match telemetry {
+            None => self.train_episode(hev, cycle),
+            Some(t) => {
+                self.training = true;
+                hev.reset_soc(self.config.initial_soc);
+                let reward = self.config.reward;
+                t.set_kind("train");
+                simulate_instrumented(hev, cycle, self, &reward, None, Some(t))
+            }
+        }
+    }
+
     /// Trains for `episodes` episodes on a cycle, resetting the battery
     /// to the configured initial state of charge each episode. Returns
     /// per-episode metrics (learning curve).
@@ -342,10 +381,22 @@ impl<P: Predictor> JointController<P> {
         cycles: &[DriveCycle],
         rounds: usize,
     ) -> Vec<EpisodeMetrics> {
+        self.train_portfolio_instrumented(hev, cycles, rounds, None)
+    }
+
+    /// [`JointController::train_portfolio`] with an optional telemetry
+    /// collector shared by every episode.
+    pub fn train_portfolio_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        cycles: &[DriveCycle],
+        rounds: usize,
+        mut telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> Vec<EpisodeMetrics> {
         let mut out = Vec::with_capacity(rounds * cycles.len());
         for _ in 0..rounds {
             for cycle in cycles {
-                out.push(self.train_episode(hev, cycle));
+                out.push(self.train_episode_instrumented(hev, cycle, telemetry.as_deref_mut()));
             }
         }
         out
@@ -353,10 +404,28 @@ impl<P: Predictor> JointController<P> {
 
     /// Greedy evaluation on a cycle (no exploration, no learning).
     pub fn evaluate(&mut self, hev: &mut ParallelHev, cycle: &DriveCycle) -> EpisodeMetrics {
+        self.evaluate_instrumented(hev, cycle, None)
+    }
+
+    /// [`JointController::evaluate`] with an optional telemetry
+    /// collector (labelled `"eval"`). With `None` this delegates to the
+    /// plain path, bit-identically.
+    pub fn evaluate_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        cycle: &DriveCycle,
+        telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> EpisodeMetrics {
         self.training = false;
         hev.reset_soc(self.config.initial_soc);
         let reward = self.config.reward;
-        let metrics = simulate(hev, cycle, self, &reward);
+        let metrics = match telemetry {
+            None => simulate(hev, cycle, self, &reward),
+            Some(t) => {
+                t.set_kind("eval");
+                simulate_instrumented(hev, cycle, self, &reward, None, Some(t))
+            }
+        };
         self.training = true;
         metrics
     }
@@ -478,6 +547,10 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         self.pending = None;
         self.awaiting_reward = None;
         self.last_error = None;
+        if self.record_stats {
+            self.td_stats.reset();
+            self.last_decision = None;
+        }
         self.predictor.reset();
     }
 
@@ -487,6 +560,9 @@ impl<P: Predictor> HevPolicy for JointController<P> {
 
     fn decide(&mut self, hev: &ParallelHev, obs: &Observation<'_>) -> ControlInput {
         let state = self.encode_state(obs);
+        if self.record_stats {
+            self.last_decision = None;
+        }
         self.scratch.reset(self.config.action.len());
         self.fill_action_mask(hev, obs);
         if !self.scratch.mask.iter().any(|&m| m) {
@@ -499,8 +575,12 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         // its feasible set are known (Algorithm 1, lines 5–10).
         if self.training {
             if let Some((s, a, r)) = self.pending.take() {
-                self.learner
+                let delta = self
+                    .learner
                     .update(s, a, r, state, Some(&self.scratch.mask));
+                if self.record_stats {
+                    self.td_stats.record(delta);
+                }
             }
         }
         let action = if self.training {
@@ -525,6 +605,18 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         match self.control_for_action(hev, obs, action) {
             Some(control) => {
                 self.awaiting_reward = Some((state, action));
+                if self.record_stats {
+                    self.last_decision = Some(DecisionInfo {
+                        state,
+                        feasible: self.scratch.mask.iter().filter(|&&m| m).count(),
+                        action,
+                        prediction_w: if self.state_space.has_prediction() {
+                            self.predictor.predict()
+                        } else {
+                            0.0
+                        },
+                    });
+                }
                 control
             }
             None => {
@@ -555,13 +647,38 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         if self.training {
             if let Some((s, a, r)) = self.pending.take() {
                 // Terminal flush: bootstrap on the last state itself.
-                self.learner.update(s, a, r, s, None);
+                let delta = self.learner.update(s, a, r, s, None);
+                if self.record_stats {
+                    self.td_stats.record(delta);
+                }
             }
             self.policy.end_episode();
         }
         self.pending = None;
         self.awaiting_reward = None;
         self.learner.end_episode();
+    }
+
+    fn set_record_decisions(&mut self, on: bool) {
+        self.record_stats = on;
+        if !on {
+            self.last_decision = None;
+        }
+    }
+
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        self.last_decision
+    }
+
+    fn telemetry_snapshot(&self) -> Option<PolicyTelemetry> {
+        if !self.record_stats {
+            return None;
+        }
+        Some(PolicyTelemetry {
+            epsilon: self.policy.epsilon(),
+            td: self.td_stats.clone(),
+            q: QStats::from_table(self.learner.q()),
+        })
     }
 }
 

@@ -156,6 +156,12 @@ impl Harness {
     /// Payloads must be `Clone` so a retry can restart from the original
     /// input; surviving tasks' results are identical to a batch that
     /// never contained the panicking task.
+    ///
+    /// When the dying task had a telemetry flight recorder running
+    /// (`hev_trace::recorder` mirrors recorded steps into a thread-local
+    /// ring), the ring's contents are attached to the run log as a
+    /// `flight_dump` event right after `run_panic`, so the steps leading
+    /// up to the crash survive it.
     pub fn run_caught<T, R, F>(
         &self,
         group: &str,
@@ -187,6 +193,11 @@ impl Harness {
                         .seed(seed),
                 );
                 let payload = spec.payload.clone();
+                // The catch and the task share this worker thread, so the
+                // thread-local panic ring observed after a catch is
+                // exactly the dying task's (cleared here so a previous
+                // task's ring can't leak in).
+                hev_trace::recorder::clear_panic_ring();
                 match catch_unwind(AssertUnwindSafe(|| f(i, seed, payload))) {
                     Ok(result) => {
                         runlog::emit(
@@ -208,6 +219,23 @@ impl Harness {
                                 .elapsed(t0)
                                 .error(&message),
                         );
+                        let ring = hev_trace::recorder::take_panic_ring();
+                        if !ring.is_empty() {
+                            let events: Vec<serde::Value> = ring
+                                .iter()
+                                .map(|line| {
+                                    serde_json::from_str::<serde::Value>(line)
+                                        .unwrap_or_else(|_| serde::Value::Str(line.clone()))
+                                })
+                                .collect();
+                            runlog::emit(
+                                &RunEvent::new("flight_dump", &spec.label)
+                                    .index(i)
+                                    .total(total)
+                                    .seed(seed)
+                                    .metrics(serde::Value::Seq(events)),
+                            );
+                        }
                         if attempt >= max_retries {
                             return RunOutcome::Panicked { message };
                         }

@@ -13,16 +13,21 @@
 //!
 //! # Schema
 //!
-//! **v2** (this version). Event kinds: `batch_start`, `run_start`,
-//! `run_end`, `batch_end`, `target_start`, `target_end`, and — new in
-//! v2 — `run_panic` (a caught task died; `error` carries the panic
-//! message) and `run_retry` (the task is being re-attempted with the
-//! derived seed in `seed`). v2 also adds the always-present `error`
-//! field (`null` except on `run_panic`). The change is purely additive:
-//! v1 consumers that read the v1 fields — such as the CI determinism
-//! diff, which drops `elapsed_s` and compares the rest — keep working
-//! untouched, because batches without panics emit no v2 kinds and
-//! `error` is `null` everywhere they look.
+//! **v3** (this version) adds two event kinds — `episode_metrics` (an
+//! instrumented episode finished; `metrics` carries the telemetry
+//! registry snapshot) and `flight_dump` (a caught panic's worker left a
+//! flight-recorder ring behind; `metrics` carries the recorded step
+//! events) — and the always-present `metrics` field (`null` on every
+//! other kind). Like v2, the change is purely additive: v1/v2 consumers
+//! that read their own fields — such as the CI determinism diff, which
+//! drops `elapsed_s` and compares the rest — keep working untouched,
+//! because un-instrumented batches emit no v3 kinds and `metrics` is
+//! `null` everywhere they look.
+//!
+//! **v2** added `run_panic` (a caught task died; `error` carries the
+//! panic message), `run_retry` (the task is being re-attempted with the
+//! derived seed in `seed`), and the always-present `error` field
+//! (`null` except on `run_panic`).
 
 use serde::Serialize;
 use std::io::Write;
@@ -33,8 +38,9 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunEvent {
     /// Event kind: `batch_start`, `run_start`, `run_end`, `batch_end`,
-    /// `target_start`, `target_end`, `run_panic`, `run_retry` (see the
-    /// module docs for the schema history).
+    /// `target_start`, `target_end`, `run_panic`, `run_retry`,
+    /// `episode_metrics`, `flight_dump` (see the module docs for the
+    /// schema history).
     pub event: String,
     /// Human-readable task label (e.g. `fig2/UDDS/with/run1`).
     pub label: String,
@@ -50,6 +56,9 @@ pub struct RunEvent {
     pub elapsed_s: Option<f64>,
     /// Panic message of a `run_panic` event; `null` otherwise.
     pub error: Option<String>,
+    /// Structured payload of an `episode_metrics` (registry snapshot) or
+    /// `flight_dump` (recorded step events) event; `null` otherwise.
+    pub metrics: Option<serde::Value>,
 }
 
 impl RunEvent {
@@ -64,6 +73,7 @@ impl RunEvent {
             jobs: None,
             elapsed_s: None,
             error: None,
+            metrics: None,
         }
     }
 
@@ -100,6 +110,13 @@ impl RunEvent {
     /// Sets the error message (used by `run_panic` events).
     pub fn error(mut self, message: impl Into<String>) -> Self {
         self.error = Some(message.into());
+        self
+    }
+
+    /// Sets the structured payload (used by `episode_metrics` and
+    /// `flight_dump` events).
+    pub fn metrics(mut self, value: serde::Value) -> Self {
+        self.metrics = Some(value);
         self
     }
 }
@@ -228,6 +245,31 @@ mod tests {
         // v1 events keep the field, as null, so v1 consumers see no change.
         let v1 = serde_json::to_string(&RunEvent::new("run_end", "x")).unwrap();
         assert!(v1.contains("\"error\":null"));
+    }
+
+    #[test]
+    fn episode_metrics_event_carries_the_snapshot() {
+        let snapshot: serde::Value =
+            serde_json::from_str("{\"fuel_g\":12.5,\"steps\":10}").expect("valid snapshot json");
+        let e = RunEvent::new("episode_metrics", "fig2/run0")
+            .index(3)
+            .metrics(snapshot);
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"event\":\"episode_metrics\""));
+        assert!(json.contains("\"fuel_g\":12.5"));
+        assert!(json.contains("\"steps\":10"));
+    }
+
+    #[test]
+    fn v2_events_keep_metrics_null_for_old_readers() {
+        // The v3 field is additive: every pre-v3 kind serializes it as
+        // null, so a v2 consumer that ignores unknown fields (and the CI
+        // determinism diff, which compares whole lines minus elapsed_s)
+        // sees stable output.
+        for kind in ["batch_start", "run_start", "run_end", "run_panic"] {
+            let json = serde_json::to_string(&RunEvent::new(kind, "x")).unwrap();
+            assert!(json.contains("\"metrics\":null"), "{kind}: {json}");
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   ([`simulate`], [`EpisodeMetrics`]);
 //! * the deterministic **parallel training harness** ([`harness`]):
 //!   seed-split multi-run execution that is bit-identical at every
-//!   worker count, with multi-run aggregation ([`MetricsSummary`]).
+//!   worker count, with multi-run aggregation ([`MetricsSummary`]);
+//! * the deterministic **telemetry layer** ([`telemetry`]): per-episode
+//!   metrics registries, sampled decision traces, and a degradation
+//!   flight recorder collected in memory per run ([`EpisodeTelemetry`])
+//!   so emitted files stay byte-identical across worker counts.
 //!
 //! # Examples
 //!
@@ -68,6 +72,7 @@ pub mod reward;
 pub mod sim;
 pub mod state;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use action::{default_currents, ActionChoice, ActionSpace};
 pub use analysis::{EnergyAudit, Recorder, TracePoint};
@@ -86,7 +91,11 @@ pub use metrics::{mode_index, DegradationReport, EpisodeMetrics, MetricsSummary,
 pub use policy_export::PolicyTable;
 pub use reward::RewardConfig;
 pub use sim::{
-    fallback_control, simulate, simulate_with_faults, ControlError, HevPolicy, Observation,
+    fallback_control, simulate, simulate_instrumented, simulate_with_faults, ControlError,
+    HevPolicy, Observation,
 };
 pub use state::{StateSample, StateSpace, StateSpaceConfig};
 pub use supervisor::{SupervisedPolicy, SupervisorConfig};
+pub use telemetry::{
+    DecisionInfo, EpisodeTelemetry, PolicyTelemetry, RunTelemetry, TelemetryConfig,
+};

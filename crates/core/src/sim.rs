@@ -4,8 +4,10 @@
 use crate::fault::FaultPlan;
 use crate::metrics::{DegradationReport, EpisodeMetrics};
 use crate::reward::RewardConfig;
+use crate::telemetry::{DecisionInfo, EpisodeTelemetry, PolicyTelemetry};
 use drive_cycle::DriveCycle;
 use hev_model::{ControlInput, ParallelHev, StepContext, StepOutcome, WheelDemand};
+use hev_trace::StepEvent;
 
 /// A typed controller-internal failure while producing a control.
 ///
@@ -102,6 +104,29 @@ pub trait HevPolicy {
     /// `hev_control::supervisor::SupervisedPolicy`). The simulation loop
     /// attaches it to [`EpisodeMetrics::degradation`] at episode end.
     fn degradation(&self) -> Option<DegradationReport> {
+        None
+    }
+
+    /// Enables or disables per-decision telemetry recording. Policies
+    /// that support it expose each decision via
+    /// [`HevPolicy::last_decision`] while enabled; the default ignores
+    /// the request, so un-instrumented policies pay nothing.
+    fn set_record_decisions(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// The most recent decision's telemetry, when recording is enabled
+    /// and the last `decide` chose an action from the policy's own
+    /// action space (`None` on fallback paths and for policies that
+    /// don't record).
+    fn last_decision(&self) -> Option<DecisionInfo> {
+        None
+    }
+
+    /// The policy's learning-progress snapshot (exploration rate,
+    /// TD-error statistics, Q-table occupancy), when recording is
+    /// enabled and the policy tracks one.
+    fn telemetry_snapshot(&self) -> Option<PolicyTelemetry> {
         None
     }
 }
@@ -204,7 +229,28 @@ pub fn simulate_with_faults(
     cycle: &DriveCycle,
     controller: &mut dyn HevPolicy,
     reward: &RewardConfig,
+    faults: Option<&mut FaultPlan>,
+) -> EpisodeMetrics {
+    simulate_instrumented(hev, cycle, controller, reward, faults, None)
+}
+
+/// [`simulate_with_faults`] with an optional telemetry collector.
+///
+/// With `telemetry: None` this *is* `simulate_with_faults`: no decision
+/// recording is switched on, no step events are built, and the episode
+/// is bit-identical to (and as cheap as) the un-instrumented harness.
+/// With a collector, each step is offered to the trace sampler and the
+/// flight ring, and the flight ring is dumped into the trace stream the
+/// first time a step degrades — a non-finite control reaches the plant
+/// or the supervisor's rejection count grows (see
+/// [`EpisodeTelemetry::note_step_health`]).
+pub fn simulate_instrumented(
+    hev: &mut ParallelHev,
+    cycle: &DriveCycle,
+    controller: &mut dyn HevPolicy,
+    reward: &RewardConfig,
     mut faults: Option<&mut FaultPlan>,
+    mut telemetry: Option<&mut EpisodeTelemetry>,
 ) -> EpisodeMetrics {
     let dt = cycle.dt();
     let mut metrics = EpisodeMetrics::new(hev.soc());
@@ -214,6 +260,10 @@ pub fn simulate_with_faults(
     let mut ctx = StepContext::default();
     if let Some(plan) = faults.as_deref_mut() {
         plan.begin_episode(cycle.duration_s());
+    }
+    if let Some(t) = telemetry.as_deref_mut() {
+        controller.set_record_decisions(true);
+        t.begin_episode();
     }
     controller.begin_episode();
     for (step, point) in cycle.points().enumerate() {
@@ -252,6 +302,34 @@ pub fn simulate_with_faults(
             point.speed_mps * dt,
             was_fallback,
         );
+        if let Some(t) = telemetry.as_deref_mut() {
+            let info = controller.last_decision();
+            t.record_step(&StepEvent {
+                episode: t.episode(),
+                kind: t.kind(),
+                step: step as u64,
+                time_s: point.time_s,
+                p_dem_w: observed_demand.power_demand_w,
+                speed_mps: observed_demand.speed_mps,
+                soc: observed_soc,
+                prediction_w: info.map_or(0.0, |i| i.prediction_w),
+                state: info.map(|i| i.state as u64),
+                feasible: info.map(|i| i.feasible as u64),
+                action: info.map(|i| i.action as u64),
+                current_a: control.battery_current_a,
+                gear: control.gear as u64,
+                p_aux_w: control.p_aux_w,
+                reward: r,
+                fuel_g: outcome.fuel_g,
+                aux_term: reward.aux_weight * outcome.aux_utility * reward.dt_s,
+                soc_after: outcome.soc_after,
+                fallback: was_fallback,
+            });
+            let control_finite =
+                control.battery_current_a.is_finite() && control.p_aux_w.is_finite();
+            let rejections = controller.degradation().map_or(0, |d| d.rejections());
+            t.note_step_health(step as u64, control_finite, rejections);
+        }
         controller.feedback(hev, &obs, &outcome, r);
     }
     if faults.is_some() {
@@ -261,6 +339,10 @@ pub fn simulate_with_faults(
     }
     controller.end_episode();
     metrics.degradation = controller.degradation();
+    if let Some(t) = telemetry {
+        t.end_episode(&metrics, reward, controller.telemetry_snapshot());
+        controller.set_record_decisions(false);
+    }
     metrics
 }
 

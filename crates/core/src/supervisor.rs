@@ -226,6 +226,18 @@ impl<P: HevPolicy> HevPolicy for SupervisedPolicy<P> {
     fn degradation(&self) -> Option<DegradationReport> {
         Some(self.report)
     }
+
+    fn set_record_decisions(&mut self, on: bool) {
+        self.policy.set_record_decisions(on);
+    }
+
+    fn last_decision(&self) -> Option<crate::telemetry::DecisionInfo> {
+        self.policy.last_decision()
+    }
+
+    fn telemetry_snapshot(&self) -> Option<crate::telemetry::PolicyTelemetry> {
+        self.policy.telemetry_snapshot()
+    }
 }
 
 #[cfg(test)]

@@ -1,53 +1,14 @@
-//! Lightweight evaluation counters for performance instrumentation.
+//! Evaluation-counting shim over [`hev_trace::evals`].
 //!
-//! Every control step of the RL controller pays many *peek-equivalent
-//! evaluations* — feasibility probes, inner-optimization grid points,
-//! ternary-search refinements — and the per-step evaluation count is the
-//! quantity the staged [`StepContext`](crate::vehicle::StepContext)
-//! pipeline amortizes. The counter here makes that count observable so
-//! the benchmark harness (`repro --bench-json`) can report evaluations
-//! per step alongside wall-clock throughput.
-//!
-//! The counter is thread-local: incrementing it costs a few nanoseconds
-//! and never contends across the parallel training harness's workers.
-//! Callers that want a complete count therefore run their measured
-//! workload single-threaded (the harness's `--jobs 1` mode) or sum the
-//! counts inside each worker.
-
-use std::cell::Cell;
-
-thread_local! {
-    static EVALS: Cell<u64> = const { Cell::new(0) };
-}
-
-/// Number of peek-equivalent evaluations recorded on this thread since
-/// the last [`reset_evals`].
-pub fn evals() -> u64 {
-    EVALS.with(Cell::get)
-}
-
-/// Resets this thread's evaluation counter to zero.
-pub fn reset_evals() {
-    EVALS.with(|c| c.set(0));
-}
+//! The thread-local peek-equivalent evaluation counter used to live
+//! here; it migrated to `hev-trace` so the telemetry registry, the
+//! benchmark harness, and the vehicle model all share one counter. This
+//! module keeps the vehicle model's call site (`record_eval`) crate-
+//! internal — consumers read counts through `hev_trace::evals` directly,
+//! not through `hev_model`.
 
 /// Records one peek-equivalent evaluation (called by the vehicle model).
+#[inline]
 pub(crate) fn record_eval() {
-    EVALS.with(|c| c.set(c.get().wrapping_add(1)));
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counter_accumulates_and_resets() {
-        reset_evals();
-        assert_eq!(evals(), 0);
-        record_eval();
-        record_eval();
-        assert_eq!(evals(), 2);
-        reset_evals();
-        assert_eq!(evals(), 0);
-    }
+    hev_trace::evals::record();
 }

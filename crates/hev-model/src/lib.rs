@@ -40,7 +40,7 @@ pub mod drivetrain;
 pub mod dynamics;
 pub mod error;
 pub mod ice;
-pub mod instrument;
+mod instrument;
 pub mod motor;
 pub mod params;
 pub mod vehicle;

@@ -1,0 +1,62 @@
+//! The thread-local peek-equivalent evaluation counter.
+//!
+//! Every control step of the RL controller pays many *peek-equivalent
+//! evaluations* — feasibility probes, inner-optimization grid points,
+//! ternary-search refinements — and the per-step evaluation count is the
+//! quantity the staged pipeline in `hev_model` amortizes. The vehicle
+//! model records each evaluation here (migrated from the former
+//! `hev_model::instrument` module), and the telemetry layer reads
+//! per-episode deltas via [`count`] snapshots — deterministic because
+//! each episode runs on a single thread.
+//!
+//! Incrementing a thread-local `Cell` costs a few nanoseconds and never
+//! contends across the parallel harness's workers. Callers that want a
+//! complete count run their workload single-threaded (the harness's
+//! `--jobs 1` mode) or difference [`count`] inside each worker.
+
+use std::cell::Cell;
+
+thread_local! {
+    static EVALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one peek-equivalent evaluation.
+pub fn record() {
+    EVALS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Evaluations recorded on this thread since the last [`reset`] (a free-
+/// running counter; per-episode consumers difference two snapshots with
+/// [`since`]).
+pub fn count() -> u64 {
+    EVALS.with(Cell::get)
+}
+
+/// Resets this thread's counter to zero.
+pub fn reset() {
+    EVALS.with(|c| c.set(0));
+}
+
+/// Evaluations since an earlier [`count`] snapshot (wrapping-safe).
+pub fn since(snapshot: u64) -> u64 {
+    count().wrapping_sub(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_resets_and_differences() {
+        reset();
+        assert_eq!(count(), 0);
+        record();
+        record();
+        assert_eq!(count(), 2);
+        let snap = count();
+        record();
+        assert_eq!(since(snap), 1);
+        reset();
+        assert_eq!(count(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic telemetry for the HEV joint-control workspace.
+//!
+//! The controller makes three coupled decisions every step (battery
+//! current, gear, auxiliary power); when a run underperforms or the
+//! supervisor degrades to a fallback tier, the question is always *why*.
+//! This crate is the answer's recording layer:
+//!
+//! * [`registry`] — a metrics registry (counters, gauges, histograms
+//!   with fixed deterministic bucket bounds) with single-line JSON and
+//!   Prometheus text exposition;
+//! * [`trace`] — sampled structured step events (discretized state,
+//!   action-mask size, inner-opt winner, reward terms) encoded as
+//!   versioned JSONL;
+//! * [`recorder`] — a fixed-size ring buffer of recent step events that
+//!   dumps on supervisor degradation, non-finite control, or a caught
+//!   panic (the flight recorder);
+//! * [`evals`] — the thread-local peek-equivalent evaluation counter
+//!   (migrated here from `hev_model::instrument`);
+//! * [`sink`] — file-writing sinks for the harness layer (the only
+//!   module allowed to touch the wall clock).
+//!
+//! # Determinism contract
+//!
+//! Everything outside [`sink`] is a pure function of what was recorded:
+//! no wall clock, no environment, no hashing collections. Emitted lines
+//! are therefore byte-identical across worker counts as long as callers
+//! collect them per task and concatenate in task order (the pattern
+//! `hev_bench::experiments` uses). Floats are formatted with Rust's
+//! shortest-round-trip `{:?}` (matching the vendored `serde_json`), and
+//! non-finite values — which the flight recorder exists to capture —
+//! are encoded as the JSON strings `"NaN"`, `"inf"`, `"-inf"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evals;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod sink;
+pub mod trace;
+
+pub use recorder::FlightRecorder;
+pub use registry::{Histogram, MetricValue, MetricsRegistry};
+pub use trace::{StepEvent, TraceSampler, TRACE_SCHEMA_VERSION};

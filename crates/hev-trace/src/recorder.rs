@@ -1,0 +1,169 @@
+//! The flight recorder: a fixed-size ring buffer of recent step events
+//! that dumps when something goes wrong.
+//!
+//! Two delivery paths share the recording:
+//!
+//! * **Deterministic** — the owner ([`FlightRecorder`]) dumps into the
+//!   trace stream as a `flight_dump` JSONL line when the simulation loop
+//!   detects a supervisor rejection or a non-finite control. The dump is
+//!   a pure function of the recorded steps, so trace files stay
+//!   byte-identical across worker counts.
+//! * **Panic** — every recorded line is mirrored into a bounded
+//!   thread-local ring ([`note_panic_context`]); when the harness
+//!   catches a task panic it snapshots that ring ([`take_panic_ring`])
+//!   on the same worker thread and attaches it to the `run_panic` run-log
+//!   event. The run log is already the nondeterministic side channel, so
+//!   this path never touches the deterministic outputs.
+
+use crate::json;
+use crate::trace::TRACE_SCHEMA_VERSION;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// A ring buffer of pre-encoded step-event JSON objects.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: VecDeque<String>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Whether the recorder keeps anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records one encoded step event, evicting the oldest when full.
+    /// Also mirrors the line into the thread-local panic ring.
+    pub fn record(&mut self, event_json: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        note_panic_context(&event_json);
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event_json);
+    }
+
+    /// Empties the ring (each episode starts clean).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        clear_panic_ring();
+    }
+
+    /// Encodes the ring as one `flight_dump` JSONL line: the trigger, the
+    /// offending step, and every buffered event (oldest first). Returns
+    /// `None` when the recorder is disabled or empty.
+    pub fn dump(&self, run: &str, episode: u64, trigger: &str, step: u64) -> Option<String> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(
+            json::Obj::new()
+                .u64("v", u64::from(TRACE_SCHEMA_VERSION))
+                .str("event", "flight_dump")
+                .str("run", run)
+                .u64("episode", episode)
+                .str("trigger", trigger)
+                .u64("step", step)
+                .raw_seq("events", self.buf.iter().map(String::as_str))
+                .finish(),
+        )
+    }
+}
+
+/// The panic mirror keeps at most this many recent lines per thread.
+const PANIC_RING_CAPACITY: usize = 32;
+
+thread_local! {
+    static PANIC_RING: RefCell<VecDeque<String>> =
+        RefCell::new(VecDeque::with_capacity(PANIC_RING_CAPACITY));
+}
+
+/// Mirrors one encoded step event into this thread's panic ring.
+pub fn note_panic_context(event_json: &str) {
+    PANIC_RING.with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if ring.len() == PANIC_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event_json.to_string());
+    });
+}
+
+/// Clears this thread's panic ring.
+pub fn clear_panic_ring() {
+    PANIC_RING.with(|ring| ring.borrow_mut().clear());
+}
+
+/// Takes (and clears) this thread's panic ring — called by the harness
+/// on the worker that caught a panic, so the dump describes the steps
+/// leading up to the death.
+pub fn take_panic_ring() -> Vec<String> {
+    PANIC_RING.with(|ring| ring.borrow_mut().drain(..).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_most_recent_events() {
+        let mut r = FlightRecorder::new(2);
+        r.record("{\"step\":0}".into());
+        r.record("{\"step\":1}".into());
+        r.record("{\"step\":2}".into());
+        assert_eq!(r.len(), 2);
+        let dump = r.dump("run", 0, "supervisor_degradation", 2).unwrap();
+        assert!(!dump.contains("\"step\":0"));
+        assert!(dump.contains("\"events\":[{\"step\":1},{\"step\":2}]"));
+        assert!(dump.contains("\"trigger\":\"supervisor_degradation\""));
+    }
+
+    #[test]
+    fn disabled_or_empty_recorder_never_dumps() {
+        let mut off = FlightRecorder::new(0);
+        off.record("{}".into());
+        assert!(off.dump("r", 0, "t", 0).is_none());
+        assert!(!off.is_enabled());
+        assert!(FlightRecorder::new(4).dump("r", 0, "t", 0).is_none());
+    }
+
+    #[test]
+    fn panic_ring_mirrors_and_drains() {
+        clear_panic_ring();
+        let mut r = FlightRecorder::new(4);
+        r.record("{\"step\":9}".into());
+        let lines = take_panic_ring();
+        assert_eq!(lines, vec!["{\"step\":9}".to_string()]);
+        assert!(take_panic_ring().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_both_rings() {
+        let mut r = FlightRecorder::new(4);
+        r.record("{}".into());
+        r.clear();
+        assert!(r.is_empty());
+        assert!(take_panic_ring().is_empty());
+    }
+}

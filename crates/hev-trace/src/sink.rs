@@ -1,0 +1,60 @@
+//! File sinks for collected telemetry — the harness-role half of the
+//! crate.
+//!
+//! The recording API (registry, trace, recorder) is library-role: pure,
+//! clock-free, deterministic. Actually writing the collected lines to
+//! disk — and timing how long that took, for the run log — is harness
+//! work, so it lives here, the one module `hevlint` waives the
+//! wall-clock rule for (see `role_for` in `crates/hevlint`).
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+/// What a flush wrote: line count and wall-clock spent (the latter is
+/// nondeterministic and must only feed the run log, never the
+/// deterministic outputs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkReport {
+    /// Lines written.
+    pub lines: usize,
+    /// Wall-clock seconds the write took.
+    pub elapsed_s: f64,
+}
+
+/// Writes `lines` to `path` as JSONL (one line each, truncating any
+/// existing file). The byte content is exactly the concatenation of the
+/// lines in order — callers preserve determinism by passing lines in
+/// task order.
+pub fn write_jsonl(path: &Path, lines: &[String]) -> std::io::Result<SinkReport> {
+    let t0 = Instant::now();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for line in lines {
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+    }
+    file.flush()?;
+    Ok(SinkReport {
+        lines: lines.len(),
+        elapsed_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_lines_in_order_and_reports() {
+        let dir = std::env::temp_dir().join("hev-trace-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let lines = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        let report = write_jsonl(&path, &lines).unwrap();
+        assert_eq!(report.lines, 2);
+        assert!(report.elapsed_s >= 0.0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -66,12 +66,17 @@ impl Report {
 ///
 /// The harness/bench/tooling layer — `crates/bench` (experiment runner,
 /// prints reports, measures wall-clock), `crates/core/src/harness`
-/// (timing + run-log layer), and `crates/hevlint` itself (a CLI tool) —
-/// is exempt from the wall-clock/env/print rules; everything else is
+/// (timing + run-log layer), `crates/hevlint` itself (a CLI tool), and
+/// `crates/hev-trace/src/sink.rs` (the telemetry file writer, the one
+/// hev-trace module allowed to touch the clock and filesystem) — is
+/// exempt from the wall-clock/env/print rules; everything else is
 /// library code.
 pub fn role_for(rel_path: &str) -> Role {
     let p = rel_path.replace('\\', "/");
-    if p.starts_with("crates/bench/") || p.starts_with("crates/hevlint/") || p.contains("/harness/")
+    if p.starts_with("crates/bench/")
+        || p.starts_with("crates/hevlint/")
+        || p.contains("/harness/")
+        || p == "crates/hev-trace/src/sink.rs"
     {
         Role::Harness
     } else {
@@ -172,6 +177,8 @@ mod tests {
         assert_eq!(role_for("crates/bench/src/perf.rs"), Role::Harness);
         assert_eq!(role_for("crates/core/src/harness/mod.rs"), Role::Harness);
         assert_eq!(role_for("crates/hevlint/src/main.rs"), Role::Harness);
+        assert_eq!(role_for("crates/hev-trace/src/sink.rs"), Role::Harness);
+        assert_eq!(role_for("crates/hev-trace/src/registry.rs"), Role::Library);
         assert_eq!(role_for("crates/core/src/sim.rs"), Role::Library);
         assert_eq!(role_for("src/lib.rs"), Role::Library);
     }

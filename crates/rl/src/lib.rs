@@ -48,6 +48,7 @@ pub mod qtable;
 pub mod sarsa;
 pub mod schedule;
 pub mod sparse;
+pub mod stats;
 pub mod td_lambda;
 pub mod traces;
 
@@ -61,5 +62,6 @@ pub use qtable::QTable;
 pub use sarsa::Sarsa;
 pub use schedule::Schedule;
 pub use sparse::SparseQTable;
+pub use stats::{QStats, TdStats, TD_ABS_DELTA_BOUNDS};
 pub use td_lambda::{TdLambda, TdLambdaConfig};
 pub use traces::{EligibilityTraces, TraceKind};

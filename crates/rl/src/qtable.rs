@@ -159,6 +159,11 @@ impl QTable {
     pub fn coverage(&self) -> usize {
         self.visits.iter().filter(|&&v| v > 0).count()
     }
+
+    /// Total visit count summed over every state-action pair.
+    pub fn visits_total(&self) -> u64 {
+        self.visits.iter().map(|&v| u64::from(v)).sum()
+    }
 }
 
 #[cfg(test)]

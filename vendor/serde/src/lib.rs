@@ -242,6 +242,23 @@ impl Deserialize for &'static str {
     }
 }
 
+/// A `Value` serializes as itself, so structs can carry pre-built JSON
+/// trees (e.g. a telemetry snapshot attached to a run-log event) through
+/// derived `Serialize` impls.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// The identity deserialization: parsing into `Value` yields the raw
+/// JSON tree unchanged.
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
