@@ -5,7 +5,8 @@
 //!       [--metrics-json PATH] [--metrics-prom PATH]
 //!       [--trace PATH] [--trace-sample N]
 //!       [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT]
-//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...
+//!       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//!       [--scalar-reference] <target>...
 //!
 //! targets:
 //!   table1                  HEV key parameters
@@ -38,7 +39,13 @@
 //!
 //! `--bench-guard PCT` (with `--bench-json` and `--bench-baseline`)
 //! fails the process when the deterministic evals/step of the
-//! throughput workload regresses more than PCT percent vs the baseline.
+//! throughput workload regresses more than PCT percent vs the baseline,
+//! or when steps/s collapses below a 0.25x catastrophic floor.
+//!
+//! `--scalar-reference` forces the scalar reference implementation of
+//! the inner optimization instead of the batched candidate kernel.
+//! Output is bit-identical either way; CI diffs the two runs to prove
+//! it.
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
@@ -130,6 +137,7 @@ fn main() -> ExitCode {
                 _ => return usage("--checkpoint-every needs a positive integer"),
             },
             "--resume" => resume = true,
+            "--scalar-reference" => cfg.scalar_reference = true,
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
@@ -315,7 +323,8 @@ fn bench_throughput(
         "\n== Step throughput: staged pipeline, single-threaded ({} train episodes) ==",
         cfg.episodes
     );
-    let (workload, sample) = perf::measure_step_throughput(cfg.episodes, cfg.seed);
+    let (workload, sample) =
+        perf::measure_step_throughput(cfg.episodes, cfg.seed, cfg.scalar_reference);
     let mut report = StepThroughputReport::new(workload, sample);
     if let Some(base_path) = baseline {
         let text = std::fs::read_to_string(base_path).map_err(|e| {
@@ -361,10 +370,26 @@ fn bench_throughput(
             eprintln!("error: bench guard: {msg}");
             ExitCode::FAILURE
         })?;
-        println!("(bench guard: evals/step within {pct}% of baseline)");
+        // Steps/s gets only a catastrophic floor (4x collapse): noisy CI
+        // runners make a tight wall-clock bound flaky, but an order-of-
+        // magnitude slowdown is always a real hot-loop regression.
+        report
+            .guard_steps_per_sec(STEPS_GUARD_FLOOR)
+            .map_err(|msg| {
+                eprintln!("error: bench guard: {msg}");
+                ExitCode::FAILURE
+            })?;
+        println!(
+            "(bench guard: evals/step within {pct}% of baseline; steps/s above \
+             {STEPS_GUARD_FLOOR}x floor)"
+        );
     }
     Ok(())
 }
+
+/// `--bench-guard`'s wall-clock floor: fail when steps/s drops below
+/// this fraction of the baseline.
+const STEPS_GUARD_FLOOR: f64 = 0.25;
 
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
@@ -374,7 +399,8 @@ fn usage(err: &str) -> ExitCode {
         "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
          [--metrics-json PATH] [--metrics-prom PATH] [--trace PATH] [--trace-sample N] \
          [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT] \
-         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] <target>...\n\
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
+         [--scalar-reference] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
          ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
@@ -385,7 +411,10 @@ fn usage(err: &str) -> ExitCode {
          flight-recorder dumps on degradation); files are byte-identical at every --jobs.\n\
          --bench-json runs the single-threaded step-throughput workload and writes a\n\
          machine-readable report; --bench-baseline compares against a previous report;\n\
-         --bench-guard fails the run when evals/step regresses more than PCT percent.\n\
+         --bench-guard fails the run when evals/step regresses more than PCT percent\n\
+         or steps/s collapses below a 0.25x floor.\n\
+         --scalar-reference forces the scalar inner optimization (no batched kernel);\n\
+         output is bit-identical to the default batched path.\n\
          --checkpoint-dir enables crash-tolerant training for the robustness target\n\
          (checkpoint every --checkpoint-every episodes; --resume restarts bit-identically)."
     );

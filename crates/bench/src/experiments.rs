@@ -43,6 +43,12 @@ pub struct ExperimentConfig {
     /// only trades wall-clock for cores. `0` means the machine's
     /// available parallelism.
     pub jobs: usize,
+    /// Forces the scalar reference implementation of the inner
+    /// optimization (`repro --scalar-reference`) instead of the batched
+    /// candidate kernel. Output is bit-identical either way — the flag
+    /// exists so CI can prove exactly that by diffing the two runs.
+    #[serde(default)]
+    pub scalar_reference: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -55,6 +61,7 @@ impl Default for ExperimentConfig {
             train_jitter: 0.05,
             jitter_variants: 4,
             jobs: 1,
+            scalar_reference: false,
         }
     }
 }
@@ -471,6 +478,7 @@ fn train_eval_seeded(
 ) -> EpisodeMetrics {
     controller_cfg.initial_soc = cfg.initial_soc;
     controller_cfg.seed = seed;
+    controller_cfg.inner.scalar_reference |= cfg.scalar_reference;
     let mut hev = fresh_hev(cfg.initial_soc);
     let mut agent = JointController::new(controller_cfg);
     let portfolio = jitter_portfolio(cycle, seed, cfg);
@@ -494,6 +502,7 @@ fn train_eval_seeded_telemetry(
 ) -> (EpisodeMetrics, RunTelemetry) {
     controller_cfg.initial_soc = cfg.initial_soc;
     controller_cfg.seed = seed;
+    controller_cfg.inner.scalar_reference |= cfg.scalar_reference;
     let mut hev = fresh_hev(cfg.initial_soc);
     let mut agent = JointController::new(controller_cfg);
     let portfolio = jitter_portfolio(cycle, seed, cfg);

@@ -22,7 +22,14 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Version stamp for the JSON schema; bump on breaking layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * **v1** — wall-clock, steps, steps/s, evals, evals/step.
+/// * **v2** — adds the batched-kernel lane accounting
+///   ([`ThroughputSample::batch_lane_evals`],
+///   [`ThroughputSample::batch_calls`],
+///   [`ThroughputSample::batch_width`]). v1 reports parse with the new
+///   fields defaulting to zero, so committed v1 baselines keep working.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// What was run to produce a [`ThroughputSample`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +55,18 @@ pub struct ThroughputSample {
     pub evals: u64,
     /// `evals / steps` — the quantity the staged pipeline amortizes.
     pub evals_per_step: f64,
+    /// Evaluations that went through the batched candidate kernel (one
+    /// per batch *lane*, a subset of `evals`). Zero in v1 reports and on
+    /// the scalar reference path.
+    #[serde(default)]
+    pub batch_lane_evals: u64,
+    /// Batched-kernel invocations. Zero in v1 reports.
+    #[serde(default)]
+    pub batch_calls: u64,
+    /// `batch_lane_evals / batch_calls` — the mean batch width. Zero
+    /// when no batch call was made (v1 reports, scalar reference path).
+    #[serde(default)]
+    pub batch_width: f64,
 }
 
 /// The machine-readable report written by `repro --bench-json`.
@@ -120,6 +139,33 @@ impl StepThroughputReport {
         }
         Ok(())
     }
+
+    /// Enforces a catastrophic-slowdown floor on wall-clock throughput
+    /// against the attached baseline.
+    ///
+    /// Unlike [`guard_evals`](Self::guard_evals), `steps_per_sec` is
+    /// machine- and load-dependent, so this guard is deliberately loose:
+    /// it fails only when current throughput falls below `min_fraction`
+    /// of the baseline (e.g. `0.25` = a 4× slowdown), which no CI-runner
+    /// noise explains — only a genuine hot-loop regression does. A
+    /// missing baseline passes.
+    pub fn guard_steps_per_sec(&self, min_fraction: f64) -> Result<(), String> {
+        let Some(baseline) = &self.baseline else {
+            return Ok(());
+        };
+        if baseline.steps_per_sec <= 0.0 {
+            return Ok(());
+        }
+        let fraction = self.current.steps_per_sec / baseline.steps_per_sec;
+        if fraction < min_fraction {
+            return Err(format!(
+                "steps/s collapsed to {fraction:.2}x of baseline (current {:.0} vs baseline \
+                 {:.0}, floor {min_fraction}x)",
+                self.current.steps_per_sec, baseline.steps_per_sec
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Runs the standard throughput workload and times it.
@@ -130,10 +176,19 @@ impl StepThroughputReport {
 /// evaluation alike — goes through the full staged pipeline (action
 /// mask, myopic argmax, inner-optimizer resolve, apply), so the
 /// evaluation counter reflects production per-step cost.
-pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, ThroughputSample) {
+///
+/// `scalar_reference` forces the scalar reference implementation of the
+/// inner optimization (no batched kernel), which measures the pre-batch
+/// code path — the denominator of the batching speedup.
+pub fn measure_step_throughput(
+    train_episodes: usize,
+    seed: u64,
+    scalar_reference: bool,
+) -> (Workload, ThroughputSample) {
     let cycle = StandardCycle::Udds.cycle();
     let mut cfg = JointControllerConfig::proposed();
     cfg.seed = seed;
+    cfg.inner.scalar_reference = scalar_reference;
     let mut agent = JointController::new(cfg);
     let mut hev = fresh_hev(0.6);
 
@@ -143,6 +198,8 @@ pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, T
     let metrics = agent.evaluate(&mut hev, &cycle);
     let wall_s = t0.elapsed().as_secs_f64();
     let evals = hev_trace::evals::count();
+    let batch_lane_evals = hev_trace::evals::batch_lanes();
+    let batch_calls = hev_trace::evals::batch_calls();
 
     let steps_per_episode = metrics.steps as u64;
     let steps = steps_per_episode * (train_episodes as u64 + 1);
@@ -165,6 +222,13 @@ pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, T
         } else {
             0.0
         },
+        batch_lane_evals,
+        batch_calls,
+        batch_width: if batch_calls > 0 {
+            batch_lane_evals as f64 / batch_calls as f64
+        } else {
+            0.0
+        },
     };
     (workload, sample)
 }
@@ -173,9 +237,22 @@ pub fn measure_step_throughput(train_episodes: usize, seed: u64) -> (Workload, T
 mod tests {
     use super::*;
 
+    fn sample(evals_per_step: f64) -> ThroughputSample {
+        ThroughputSample {
+            wall_s: 1.0,
+            steps: 1000,
+            steps_per_sec: 1000.0,
+            evals: (evals_per_step * 1000.0) as u64,
+            evals_per_step,
+            batch_lane_evals: 0,
+            batch_calls: 0,
+            batch_width: 0.0,
+        }
+    }
+
     #[test]
     fn measurement_produces_consistent_sample() {
-        let (workload, sample) = measure_step_throughput(1, 42);
+        let (workload, sample) = measure_step_throughput(1, 42, false);
         assert_eq!(workload.cycle, "UDDS");
         assert_eq!(workload.train_episodes, 1);
         assert!(sample.steps > 0);
@@ -186,6 +263,22 @@ mod tests {
             "instrumented evaluations must be recorded"
         );
         assert!((sample.evals_per_step - sample.evals as f64 / sample.steps as f64).abs() < 1e-12);
+        // The default path runs through the batched kernel.
+        assert!(sample.batch_calls > 0, "batched kernel must be exercised");
+        assert!(sample.batch_lane_evals <= sample.evals);
+        assert!(
+            (sample.batch_width - sample.batch_lane_evals as f64 / sample.batch_calls as f64).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn scalar_reference_measurement_bypasses_the_batched_kernel() {
+        let (_, sample) = measure_step_throughput(0, 42, true);
+        assert!(sample.evals > 0);
+        assert_eq!(sample.batch_lane_evals, 0);
+        assert_eq!(sample.batch_calls, 0);
+        assert_eq!(sample.batch_width, 0.0);
     }
 
     #[test]
@@ -201,6 +294,9 @@ mod tests {
             steps_per_sec: 13700.0,
             evals: 980_000,
             evals_per_step: 143.1,
+            batch_lane_evals: 910_000,
+            batch_calls: 65_000,
+            batch_width: 14.0,
         };
         let baseline = ThroughputSample {
             wall_s: 0.75,
@@ -208,6 +304,9 @@ mod tests {
             steps_per_sec: 9133.3,
             evals: 1_610_000,
             evals_per_step: 235.0,
+            batch_lane_evals: 0,
+            batch_calls: 0,
+            batch_width: 0.0,
         };
         let report = StepThroughputReport::new(workload, current).with_baseline(baseline);
         let text = serde_json::to_string(&report).unwrap();
@@ -217,6 +316,36 @@ mod tests {
         assert!((speedup - 13700.0 / 9133.3).abs() < 1e-9);
     }
 
+    /// Golden test for the v1 reader: a committed schema-v1 report (no
+    /// batch fields) must keep parsing, with the v2 lane-accounting
+    /// fields defaulting to zero and every v1 field preserved.
+    #[test]
+    fn v1_report_parses_with_zero_batch_fields() {
+        let v1 = r#"{"schema_version": 1,
+            "workload": {"cycle": "UDDS", "train_episodes": 4, "seed": 42},
+            "current": {"wall_s": 0.027252976, "steps": 6845,
+                        "steps_per_sec": 251165.2305421617,
+                        "evals": 987817, "evals_per_step": 144.31219868517167},
+            "baseline": {"wall_s": 0.041881, "steps": 6845,
+                         "steps_per_sec": 163439.26840333323,
+                         "evals": 1062241, "evals_per_step": 155.18495252008765},
+            "speedup": 1.5367496012178634}"#;
+        let report: StepThroughputReport = serde_json::from_str(v1).expect("v1 reports parse");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.current.steps, 6845);
+        assert_eq!(report.current.evals, 987_817);
+        assert!((report.current.evals_per_step - 144.31219868517167).abs() < 1e-12);
+        assert_eq!(report.current.batch_lane_evals, 0);
+        assert_eq!(report.current.batch_calls, 0);
+        assert_eq!(report.current.batch_width, 0.0);
+        let baseline = report.baseline.expect("baseline survives");
+        assert_eq!(baseline.evals, 1_062_241);
+        assert_eq!(baseline.batch_lane_evals, 0);
+        // The v1 report still guards: both bounds work against it.
+        assert!(report.guard_evals(10.0).is_ok());
+        assert!(report.guard_steps_per_sec(0.25).is_ok());
+    }
+
     #[test]
     fn guard_passes_within_budget_and_fails_beyond() {
         let workload = Workload {
@@ -224,21 +353,41 @@ mod tests {
             train_episodes: 4,
             seed: 42,
         };
-        let mk = |evals_per_step: f64| ThroughputSample {
-            wall_s: 1.0,
-            steps: 1000,
-            steps_per_sec: 1000.0,
-            evals: (evals_per_step * 1000.0) as u64,
-            evals_per_step,
-        };
         let report =
-            StepThroughputReport::new(workload.clone(), mk(101.0)).with_baseline(mk(100.0));
+            StepThroughputReport::new(workload.clone(), sample(101.0)).with_baseline(sample(100.0));
         assert!(report.guard_evals(2.0).is_ok(), "1% regression within 2%");
         let report =
-            StepThroughputReport::new(workload.clone(), mk(103.0)).with_baseline(mk(100.0));
+            StepThroughputReport::new(workload.clone(), sample(103.0)).with_baseline(sample(100.0));
         let err = report.guard_evals(2.0).unwrap_err();
         assert!(err.contains("regressed"), "message explains: {err}");
-        let report = StepThroughputReport::new(workload, mk(103.0));
+        let report = StepThroughputReport::new(workload, sample(103.0));
         assert!(report.guard_evals(2.0).is_ok(), "no baseline passes");
+    }
+
+    #[test]
+    fn steps_guard_trips_only_on_catastrophic_slowdown() {
+        let workload = Workload {
+            cycle: "UDDS".to_string(),
+            train_episodes: 4,
+            seed: 42,
+        };
+        let mk = |steps_per_sec: f64| ThroughputSample {
+            steps_per_sec,
+            ..sample(100.0)
+        };
+        // Half-speed is CI-runner noise territory: within a 0.25 floor.
+        let report =
+            StepThroughputReport::new(workload.clone(), mk(500.0)).with_baseline(mk(1000.0));
+        assert!(report.guard_steps_per_sec(0.25).is_ok());
+        // A 10x collapse is a real regression.
+        let report =
+            StepThroughputReport::new(workload.clone(), mk(100.0)).with_baseline(mk(1000.0));
+        let err = report.guard_steps_per_sec(0.25).unwrap_err();
+        assert!(err.contains("collapsed"), "message explains: {err}");
+        let report = StepThroughputReport::new(workload, mk(100.0));
+        assert!(
+            report.guard_steps_per_sec(0.25).is_ok(),
+            "no baseline passes"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! yardstick for how much of the offline optimum the RL controller
 //! recovers.
 
-use crate::inner_opt::InnerOptimizer;
+use crate::inner_opt::{InnerOptimizer, ResolveScratch};
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
 use crate::sim::{fallback_control, simulate, HevPolicy, Observation};
@@ -125,11 +125,27 @@ pub fn solve(
         value[j] * (1.0 - w) + value[j + 1] * w
     };
 
+    // Precompute every timestep's wheel demand in one batched sweep over
+    // the cycle (bit-identical to per-step construction).
     let points: Vec<_> = cycle.points().collect();
+    let speeds: Vec<f64> = points.iter().map(|p| p.speed_mps).collect();
+    let accels: Vec<f64> = points.iter().map(|p| p.accel_mps2).collect();
+    let mut demands = Vec::new();
+    if points.iter().all(|p| p.grade == points[0].grade) {
+        hev.body()
+            .demands_into(&speeds, &accels, points[0].grade, &mut demands);
+    } else {
+        demands.extend(
+            points
+                .iter()
+                .map(|p| hev.demand(p.speed_mps, p.accel_mps2, p.grade)),
+        );
+    }
     let mut ctx = hev_model::StepContext::default();
+    // One resolve scratch serves the whole (time × SOC × current) sweep.
+    let mut scratch = ResolveScratch::new();
     for t in (0..t_len).rev() {
-        let p = points[t];
-        let demand = hev.demand(p.speed_mps, p.accel_mps2, p.grade);
+        let demand = demands[t];
         // The context is battery-state independent, so one per timestep
         // serves the entire SOC grid below.
         hev.rebuild_context(&mut ctx, &demand);
@@ -141,7 +157,9 @@ pub fn solve(
             let mut best_v = f64::NEG_INFINITY;
             let mut best_c = None;
             for &i in &config.currents {
-                let Some(r) = inner.resolve_with(hev, &ctx, i, dt, &config.reward) else {
+                let Some(r) =
+                    inner.resolve_with_scratch(hev, &ctx, i, dt, &config.reward, &mut scratch)
+                else {
                     continue;
                 };
                 let v = config.reward.paper_reward(&r.outcome)

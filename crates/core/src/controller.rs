@@ -9,7 +9,7 @@
 //! model-free* exactly as §4.3.2 describes.
 
 use crate::action::ActionSpace;
-use crate::inner_opt::{InnerOptimizer, ResolvedAction};
+use crate::inner_opt::{InnerOptimizer, ResolveScratch, ResolvedAction};
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
 use crate::sim::{
@@ -18,7 +18,7 @@ use crate::sim::{
 use crate::state::{StateSample, StateSpace, StateSpaceConfig};
 use crate::telemetry::{DecisionInfo, EpisodeTelemetry, PolicyTelemetry};
 use drive_cycle::DriveCycle;
-use hev_model::{ControlInput, ParallelHev, StepOutcome};
+use hev_model::{CandidateBatch, ControlInput, CurrentContextCache, ParallelHev, StepOutcome};
 use hev_predict::{Ewma, Predictor};
 use hev_rl::{DecayingEpsilon, ExplorationPolicy, QStats, TdLambda, TdLambdaConfig, TdStats};
 use rand::rngs::StdRng;
@@ -206,6 +206,22 @@ struct StepScratch {
     /// Per-action memoized inner-optimization result, valid only when its
     /// stamp equals `epoch`; the payload `None` means resolved infeasible.
     resolved: Vec<(u64, Option<ResolvedAction>)>,
+    /// Candidate batch of the full action space's mask sweep, whose
+    /// per-action outcomes the myopic argmax then reuses (the reduced
+    /// space masks through the resolve scratch's batch instead).
+    batch: CandidateBatch,
+    /// Battery-context cache of the full-space mask sweep, valid for one
+    /// step's battery state (cleared by each mask fill).
+    ctx_cache: CurrentContextCache,
+    /// Buffers of the batched inner optimization.
+    resolve: ResolveScratch,
+    /// Full space only: action index → lane of `batch` (`usize::MAX` for
+    /// malformed actions that never became a lane).
+    full_lane: Vec<usize>,
+    /// Epoch stamp of the full-space mask batch: when it equals `epoch`,
+    /// `batch`/`full_lane` hold this step's per-action outcomes and the
+    /// myopic argmax reads them instead of re-peeking.
+    mask_batch_stamp: u64,
 }
 
 impl StepScratch {
@@ -446,22 +462,67 @@ impl<P: Predictor> JointController<P> {
 
     /// Fills `self.scratch.mask` with per-action feasibility, evaluated
     /// against the observation's precomputed step context.
+    ///
+    /// Both action spaces go through the batched kernel (verdicts
+    /// bit-identical to the scalar probes): the reduced space's current
+    /// grid masks via [`InnerOptimizer::fill_mask_batched`], and the full
+    /// space evaluates every decodable action as one batch whose
+    /// per-action outcomes [`JointController::best_myopic_action`] then
+    /// reuses for free.
     fn fill_action_mask(&mut self, hev: &ParallelHev, obs: &Observation<'_>) {
         let dt = self.config.reward.dt_s;
         match &self.config.action {
             ActionSpace::Reduced { currents } => {
-                for (idx, &i) in currents.iter().enumerate() {
-                    self.scratch.mask[idx] = self.config.inner.feasible_with(hev, obs.ctx, i, dt);
-                }
+                self.config.inner.fill_mask_batched(
+                    hev,
+                    obs.ctx,
+                    currents,
+                    dt,
+                    &mut self.scratch.resolve,
+                    &mut self.scratch.mask,
+                );
             }
             full @ ActionSpace::Full { .. } => {
-                for idx in 0..self.scratch.mask.len() {
-                    // A malformed action is simply masked infeasible.
-                    self.scratch.mask[idx] = decode_full_action(full, idx, &mut self.last_error)
-                        .is_some_and(|control| {
-                            hev.peek_with_context(obs.ctx, &control, dt).is_ok()
-                        });
+                if self.config.inner.scalar_reference {
+                    for idx in 0..self.scratch.mask.len() {
+                        // A malformed action is simply masked infeasible.
+                        self.scratch.mask[idx] =
+                            decode_full_action(full, idx, &mut self.last_error).is_some_and(
+                                |control| hev.peek_with_context(obs.ctx, &control, dt).is_ok(),
+                            );
+                    }
+                    return;
                 }
+                let n = self.scratch.mask.len();
+                let batch = &mut self.scratch.batch;
+                batch.begin(dt);
+                // Full-space actions repeat each grid current across every
+                // (gear, aux) combination; the cache builds each distinct
+                // current's context once for the whole sweep.
+                self.scratch.ctx_cache.clear();
+                self.scratch.full_lane.clear();
+                self.scratch.full_lane.resize(n, usize::MAX);
+                for idx in 0..n {
+                    // A malformed action is simply masked infeasible
+                    // (it never becomes a lane, costing no evaluation —
+                    // exactly like the scalar decode-then-skip).
+                    if let Some(control) = decode_full_action(full, idx, &mut self.last_error) {
+                        self.scratch.full_lane[idx] = batch.len();
+                        batch.push_tagged(
+                            control.battery_current_a,
+                            control.gear,
+                            control.p_aux_w,
+                            idx,
+                        );
+                    }
+                }
+                hev.evaluate_batch_cached(obs.ctx, batch, &mut self.scratch.ctx_cache);
+                for idx in 0..n {
+                    let lane = self.scratch.full_lane[idx];
+                    self.scratch.mask[idx] =
+                        lane != usize::MAX && self.scratch.batch.is_feasible(lane);
+                }
+                self.scratch.mask_batch_stamp = self.scratch.epoch;
             }
         }
     }
@@ -481,12 +542,15 @@ impl<P: Predictor> JointController<P> {
         if stamp == self.scratch.epoch {
             return memo;
         }
-        let resolved = self.config.inner.resolve_with(
+        let inner = self.config.inner;
+        let reward = self.config.reward;
+        let resolved = inner.resolve_with_scratch(
             hev,
             obs.ctx,
             current,
-            self.config.reward.dt_s,
-            &self.config.reward,
+            reward.dt_s,
+            &reward,
+            &mut self.scratch.resolve,
         );
         self.scratch.resolved[action] = (self.scratch.epoch, resolved);
         resolved
@@ -506,8 +570,23 @@ impl<P: Predictor> JointController<P> {
                 let current = currents[idx];
                 self.resolve_cached(hev, obs, idx, current)
                     .map(|r| r.reward)
+            } else if self.scratch.mask_batch_stamp == self.scratch.epoch {
+                // The mask batch already evaluated this action this step;
+                // its stored lane replays the peek bit-for-bit at zero
+                // extra evaluations.
+                let lane = self.scratch.full_lane[idx];
+                if lane == usize::MAX {
+                    None
+                } else {
+                    self.scratch
+                        .batch
+                        .outcome(lane)
+                        .ok()
+                        .map(|o| self.config.reward.reward(&o))
+                }
             } else {
-                // A malformed action scores no reward (skipped).
+                // Scalar reference: a malformed action scores no reward
+                // (skipped).
                 decode_full_action(&self.config.action, idx, &mut self.last_error).and_then(
                     |control| {
                         hev.peek_with_context(obs.ctx, &control, dt)

@@ -137,6 +137,10 @@ pub trait HevPolicy {
 /// power.
 pub fn feasible_control(hev: &ParallelHev, demand: &WheelDemand, dt: f64) -> Option<ControlInput> {
     let (aux_min, _) = hev.aux().power_range();
+    // One step context serves the whole scan (each `peek` used to rebuild
+    // it); verdicts and evaluation counts are unchanged — the staged
+    // pipeline's contract makes `peek_with_context` replay `peek` exactly.
+    let ctx = hev.step_context(demand);
     let coarse = [
         0.0, -4.0, 4.0, -8.0, 8.0, -15.0, 15.0, 25.0, -25.0, 50.0, 100.0,
     ];
@@ -148,7 +152,7 @@ pub fn feasible_control(hev: &ParallelHev, demand: &WheelDemand, dt: f64) -> Opt
                     gear,
                     p_aux_w: aux,
                 };
-                if hev.peek(demand, &c, dt).is_ok() {
+                if hev.peek_with_context(&ctx, &c, dt).is_ok() {
                     return Some(c);
                 }
             }
@@ -164,7 +168,7 @@ pub fn feasible_control(hev: &ParallelHev, demand: &WheelDemand, dt: f64) -> Opt
                     gear,
                     p_aux_w: aux,
                 };
-                if hev.peek(demand, &c, dt).is_ok() {
+                if hev.peek_with_context(&ctx, &c, dt).is_ok() {
                     return Some(c);
                 }
             }

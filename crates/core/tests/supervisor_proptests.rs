@@ -5,6 +5,7 @@
 //! stopped, braking, and propelling demands.
 
 use drive_cycle::ProfileBuilder;
+use hev_control::supervisor::SupervisorConfig;
 use hev_control::{
     fallback_control, simulate_with_faults, DegradationReport, FaultConfig, FaultPlan, HevPolicy,
     Observation, RewardConfig, SupervisedPolicy,
@@ -123,5 +124,43 @@ proptest! {
         prop_assert_eq!(m.steps, cycle.len());
         let report = m.degradation.expect("supervised run carries a report");
         prop_assert_eq!(report.decisions, cycle.len());
+    }
+
+    /// The supervisor's myopic tier resolves through the batched inner
+    /// optimization by default; forcing the scalar reference
+    /// implementation instead must not change a single decision —
+    /// metrics and degradation reports are bit-identical under the same
+    /// chaotic policy and fault plan. (Together with
+    /// `supervised_output_always_feasible`, this pins that the batched
+    /// resolve never lets an infeasible control through: the scalar path
+    /// rejects it, and the batched path equals the scalar path.)
+    #[test]
+    fn supervised_batched_resolve_matches_scalar_reference(
+        policy_seed in 0u64..1_000,
+        plan_seed in 0u64..1_000,
+        severity in 0.0f64..2.0,
+        cruise_kmh in 20.0f64..70.0,
+    ) {
+        let cycle = ProfileBuilder::new("prop")
+            .idle(3.0)
+            .trip(cruise_kmh, 6.0, 8.0, 5.0, 3.0)
+            .build()
+            .unwrap();
+        let reward = RewardConfig::default();
+        let run = |scalar_reference: bool| {
+            let mut hev = ParallelHev::new(HevParams::default_parallel_hev(), 0.6).unwrap();
+            let mut plan = FaultPlan::new(FaultConfig::at_severity(severity), plan_seed);
+            plan.degrade_plant(&mut hev);
+            let mut config = SupervisorConfig::default();
+            config.inner.scalar_reference = scalar_reference;
+            let mut controller = SupervisedPolicy::with_config(
+                Chaotic { rng: StdRng::seed_from_u64(policy_seed) },
+                config,
+            );
+            simulate_with_faults(&mut hev, &cycle, &mut controller, &reward, Some(&mut plan))
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        prop_assert_eq!(batched, scalar);
     }
 }

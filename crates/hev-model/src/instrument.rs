@@ -12,3 +12,12 @@
 pub(crate) fn record_eval() {
     hev_trace::evals::record();
 }
+
+/// Records one batched sweep of `lanes` peek-equivalent evaluations
+/// (called by the batch kernel): the counter advances by one per *lane*,
+/// so per-step evaluation costs stay comparable between the scalar and
+/// batched paths.
+#[inline]
+pub(crate) fn record_batch(lanes: u64) {
+    hev_trace::evals::record_batch(lanes);
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod aux;
+pub mod batch;
 pub mod battery;
 pub mod drivetrain;
 pub mod dynamics;
@@ -46,6 +47,7 @@ pub mod params;
 pub mod vehicle;
 
 pub use aux::AuxiliarySystems;
+pub use batch::{CandidateBatch, CurrentContextCache};
 pub use battery::Battery;
 pub use drivetrain::Drivetrain;
 pub use dynamics::{VehicleBody, WheelDemand};

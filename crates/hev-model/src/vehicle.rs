@@ -118,7 +118,7 @@ pub struct StepOutcome {
 /// Which of the three top-level demand regimes a step falls into; decides
 /// which completion path [`ParallelHev::peek_with_context`] takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StepKind {
+pub(crate) enum StepKind {
     /// `speed < STOP_SPEED_MPS`: stopped-mode resolution (no per-gear
     /// kinematics — the resolution depends only on battery state).
     Stopped,
@@ -136,7 +136,7 @@ enum StepKind {
 /// a control against a `GearPre` is bit-identical to resolving it from
 /// scratch. Fields that don't apply to the entry's mode are left zeroed.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-struct GearPre {
+pub(crate) struct GearPre {
     /// Machine speed `ω_EM` for this gear, rad/s.
     w_em: f64,
     /// Pre-resolved machine overspeed error, if any.
@@ -191,8 +191,8 @@ struct GearPre {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepContext {
     demand: WheelDemand,
-    kind: StepKind,
-    gears: Vec<GearPre>,
+    pub(crate) kind: StepKind,
+    pub(crate) gears: Vec<GearPre>,
 }
 
 impl StepContext {
@@ -565,6 +565,23 @@ impl ParallelHev {
         control: &ControlInput,
     ) -> Result<StepOutcome, InfeasibleControl> {
         crate::instrument::record_eval();
+        self.complete_control(ctx, cur, control)
+    }
+
+    /// The shared completion body of [`ParallelHev::peek_with_contexts`]
+    /// and the batch kernel ([`ParallelHev::evaluate_batch`]): resolves
+    /// one control against prebuilt contexts *without* touching the
+    /// evaluation counter. The two callers differ only in how they count
+    /// — one eval per scalar call vs. one per batch lane — so every lane
+    /// of a batch is bit-identical to the scalar reference by
+    /// construction.
+    #[inline(always)]
+    pub(crate) fn complete_control(
+        &self,
+        ctx: &StepContext,
+        cur: &CurrentContext,
+        control: &ControlInput,
+    ) -> Result<StepOutcome, InfeasibleControl> {
         self.drivetrain.ratio(control.gear)?;
         self.aux.check_power(control.p_aux_w)?;
         debug_assert!(

@@ -18,11 +18,41 @@ use std::cell::Cell;
 
 thread_local! {
     static EVALS: Cell<u64> = const { Cell::new(0) };
+    static BATCH_LANES: Cell<u64> = const { Cell::new(0) };
+    static BATCH_CALLS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Records one peek-equivalent evaluation.
 pub fn record() {
     EVALS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Records one batched-kernel sweep of `lanes` peek-equivalent
+/// evaluations: the total advances by `lanes` — one eval per batch
+/// *lane*, never one per call — so `evals/step` stays comparable with
+/// the scalar-path baselines. Also tracks the number of batch calls, so
+/// consumers can report the mean batch width. Zero-lane calls are
+/// no-ops (an empty batch evaluates nothing and must not skew the
+/// width statistic).
+pub fn record_batch(lanes: u64) {
+    if lanes == 0 {
+        return;
+    }
+    EVALS.with(|c| c.set(c.get().wrapping_add(lanes)));
+    BATCH_LANES.with(|c| c.set(c.get().wrapping_add(lanes)));
+    BATCH_CALLS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Evaluations recorded through the batched kernel on this thread since
+/// the last [`reset`] (a subset of [`count`]).
+pub fn batch_lanes() -> u64 {
+    BATCH_LANES.with(Cell::get)
+}
+
+/// Batched-kernel invocations on this thread since the last [`reset`];
+/// `batch_lanes() / batch_calls()` is the mean batch width.
+pub fn batch_calls() -> u64 {
+    BATCH_CALLS.with(Cell::get)
 }
 
 /// Evaluations recorded on this thread since the last [`reset`] (a free-
@@ -32,9 +62,12 @@ pub fn count() -> u64 {
     EVALS.with(Cell::get)
 }
 
-/// Resets this thread's counter to zero.
+/// Resets this thread's counters (total, batch lanes, batch calls) to
+/// zero.
 pub fn reset() {
     EVALS.with(|c| c.set(0));
+    BATCH_LANES.with(|c| c.set(0));
+    BATCH_CALLS.with(|c| c.set(0));
 }
 
 /// Evaluations since an earlier [`count`] snapshot (wrapping-safe).
@@ -58,5 +91,26 @@ mod tests {
         assert_eq!(since(snap), 1);
         reset();
         assert_eq!(count(), 0);
+    }
+
+    #[test]
+    fn batch_records_one_eval_per_lane() {
+        // Hand-counted scenario: two scalar evals, a 7-lane batch, a
+        // 3-lane batch, and an empty batch. The total must be
+        // 2 + 7 + 3 = 12 (one per lane, never one per call), the batch
+        // subset 10, and the empty call must count neither a lane nor a
+        // call.
+        reset();
+        record();
+        record();
+        record_batch(7);
+        record_batch(3);
+        record_batch(0);
+        assert_eq!(count(), 12);
+        assert_eq!(batch_lanes(), 10);
+        assert_eq!(batch_calls(), 2);
+        reset();
+        assert_eq!(batch_lanes(), 0);
+        assert_eq!(batch_calls(), 0);
     }
 }

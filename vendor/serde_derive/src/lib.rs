@@ -15,9 +15,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its name, and whether it carries
+/// `#[serde(default)]` (deserialization falls back to
+/// `Default::default()` when the serialized map lacks the key — how
+/// newer layouts read older reports/checkpoints).
+struct NamedField {
+    name: String,
+    default: bool,
+}
+
 /// One parsed field: its name (named fields) or index (tuple fields).
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -44,14 +53,22 @@ fn is_punct(t: &TokenTree, c: char) -> bool {
 
 /// Skips attributes (`#[...]` / `#![...]`) and visibility
 /// (`pub`, `pub(...)`) at the cursor.
-fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: usize) -> usize {
+    scan_attrs_and_vis(tokens, i).0
+}
+
+/// Like [`skip_attrs_and_vis`], but also reports whether one of the
+/// skipped attributes was `#[serde(default)]`.
+fn scan_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
     loop {
         if i < tokens.len() && is_punct(&tokens[i], '#') {
             i += 1; // '#'
             if i < tokens.len() && is_punct(&tokens[i], '!') {
                 i += 1;
             }
-            if i < tokens.len() && matches!(&tokens[i], TokenTree::Group(_)) {
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                has_default |= is_serde_default_attr(g);
                 i += 1;
             }
             continue;
@@ -67,8 +84,24 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
                 continue;
             }
         }
-        return i;
+        return (i, has_default);
     }
+}
+
+/// Whether an attribute's bracket group is exactly `serde(default)`.
+fn is_serde_default_attr(group: &proc_macro::Group) -> bool {
+    if group.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let [TokenTree::Ident(name), TokenTree::Group(args)] = tokens.as_slice() else {
+        return false;
+    };
+    if name.to_string() != "serde" || args.delimiter() != Delimiter::Parenthesis {
+        return false;
+    }
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    matches!(inner.as_slice(), [TokenTree::Ident(id)] if id.to_string() == "default")
 }
 
 /// Parses `<A, B>` (bare type parameters only) starting at `i`
@@ -93,24 +126,28 @@ fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, usize) {
 }
 
 /// Parses the fields of a braced group: named fields only.
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<NamedField> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
-    let mut fields = Vec::new();
+    let mut fields: Vec<NamedField> = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let (next, default) = scan_attrs_and_vis(&tokens, i);
+        i = next;
         if i >= tokens.len() {
             break;
         }
         let TokenTree::Ident(name) = &tokens[i] else {
             panic!("expected field name, found {}", tokens[i]);
         };
-        fields.push(name.to_string());
+        fields.push(NamedField {
+            name: name.to_string(),
+            default,
+        });
         i += 1;
         assert!(
             i < tokens.len() && is_punct(&tokens[i], ':'),
             "expected ':' after field name {}",
-            fields.last().unwrap()
+            fields.last().unwrap().name
         );
         i += 1;
         // Skip the type: advance to the next top-level ',' tracking
@@ -254,10 +291,11 @@ fn impl_header(trait_name: &str, p: &Parsed) -> String {
     }
 }
 
-fn serialize_fields_named(fields: &[String], accessor: &str) -> String {
+fn serialize_fields_named(fields: &[NamedField], accessor: &str) -> String {
     let pushes: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "m.push((::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::to_value({accessor}{f})));"
@@ -268,6 +306,26 @@ fn serialize_fields_named(fields: &[String], accessor: &str) -> String {
         "{{ let mut m = ::std::vec::Vec::new(); {} ::serde::Value::Map(m) }}",
         pushes.join(" ")
     )
+}
+
+/// The deserialization initializer of one named field: required fields
+/// propagate the missing-key error; `#[serde(default)]` fields fall
+/// back to `Default::default()` when the key is absent (how a v2 reader
+/// keeps parsing v1 payloads).
+fn deserialize_field_named(f: &NamedField) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::map_get(m, \"{name}\") {{ \
+             ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?, \
+             ::std::result::Result::Err(_) => ::std::default::Default::default() }},"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::map_get(m, \"{name}\")?)?,"
+        )
+    }
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -313,10 +371,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         }
                         Fields::Named(names) => {
                             let inner = serialize_fields_named(names, "");
+                            let binds: Vec<String> = names.iter().map(|f| f.name.clone()).collect();
                             format!(
                                 "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![(\
                                  ::std::string::String::from(\"{vname}\"), {inner})]),",
-                                names.join(", ")
+                                binds.join(", ")
                             )
                         }
                     }
@@ -339,15 +398,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match &p.item {
         Item::Struct { fields } => match fields {
             Fields::Named(names) => {
-                let inits: Vec<String> = names
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "{f}: ::serde::Deserialize::from_value(\
-                             ::serde::map_get(m, \"{f}\")?)?,"
-                        )
-                    })
-                    .collect();
+                let inits: Vec<String> = names.iter().map(deserialize_field_named).collect();
                 format!(
                     "let m = v.as_map().ok_or_else(|| ::serde::Error::ty(\"{name}\", v))?; \
                      Ok(Self {{ {} }})",
@@ -397,15 +448,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         Fields::Named(names) => {
-                            let inits: Vec<String> = names
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         ::serde::map_get(m, \"{f}\")?)?,"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                names.iter().map(deserialize_field_named).collect();
                             Some(format!(
                                 "\"{vname}\" => {{ \
                                  let m = inner.as_map().ok_or_else(|| \
