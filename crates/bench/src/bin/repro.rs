@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR]
+//! repro [--episodes N] [--seed S] [--jobs N] [--wave N] [--run-log PATH|-] [--csv DIR]
 //!       [--metrics-json PATH] [--metrics-prom PATH]
 //!       [--trace PATH] [--trace-sample N]
 //!       [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT]
@@ -46,6 +46,14 @@
 //! the inner optimization instead of the batched candidate kernel.
 //! Output is bit-identical either way; CI diffs the two runs to prove
 //! it.
+//!
+//! `--wave N` steps N independent runs of each experiment-grid cell in
+//! lockstep on one worker, sharing every timestep's precomputed
+//! evaluation context and fusing the lanes' candidate evaluations into
+//! wider batches. `--wave 1` (the default) is the per-episode reference
+//! path; all output — tables, telemetry, run logs — is bit-identical at
+//! every width, which CI proves by diffing `--wave 1` against
+//! `--wave 8`.
 
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
@@ -91,6 +99,10 @@ fn main() -> ExitCode {
             "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cfg.jobs = n,
                 None => return usage("--jobs needs an integer (0 = all cores)"),
+            },
+            "--wave" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.wave = n,
+                _ => return usage("--wave needs a positive integer (1 = per-episode path)"),
             },
             "--run-log" => match args.next() {
                 Some(path) => run_log = Some(path),
@@ -324,7 +336,7 @@ fn bench_throughput(
         cfg.episodes
     );
     let (workload, sample) =
-        perf::measure_step_throughput(cfg.episodes, cfg.seed, cfg.scalar_reference);
+        perf::measure_step_throughput(cfg.episodes, cfg.seed, cfg.scalar_reference, cfg.wave);
     let mut report = StepThroughputReport::new(workload, sample);
     if let Some(base_path) = baseline {
         let text = std::fs::read_to_string(base_path).map_err(|e| {
@@ -396,7 +408,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [--episodes N] [--seed S] [--jobs N] [--run-log PATH|-] [--csv DIR] \
+        "usage: repro [--episodes N] [--seed S] [--jobs N] [--wave N] [--run-log PATH|-] \
+         [--csv DIR] \
          [--metrics-json PATH] [--metrics-prom PATH] [--trace PATH] [--trace-sample N] \
          [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT] \
          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
@@ -404,6 +417,8 @@ fn usage(err: &str) -> ExitCode {
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
          ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
+         --wave N trains N runs of a grid cell in lockstep on one worker, sharing each\n\
+         timestep's precomputed context; output is bit-identical at every width.\n\
          --run-log writes JSON-lines progress/timing to PATH ('-' = stderr).\n\
          --metrics-json writes per-episode metrics JSONL for fig2/table2/fig3;\n\
          --metrics-prom writes the final snapshot in Prometheus text format;\n\

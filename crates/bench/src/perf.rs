@@ -17,7 +17,10 @@
 
 use crate::experiments::fresh_hev;
 use drive_cycle::StandardCycle;
-use hev_control::{JointController, JointControllerConfig};
+use hev_control::{
+    split_seed, train_portfolio_wave, CyclePlan, JointController, JointControllerConfig,
+    WaveTrainLane,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -29,7 +32,12 @@ use std::time::Instant;
 ///   [`ThroughputSample::batch_calls`],
 ///   [`ThroughputSample::batch_width`]). v1 reports parse with the new
 ///   fields defaulting to zero, so committed v1 baselines keep working.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **v3** — adds the amortization accounting
+///   ([`ThroughputSample::ctx_rebuilds`], defaulting to zero) and the
+///   lockstep wave width ([`Workload::wave_width`], defaulting to one).
+///   v1/v2 reports keep parsing; their zero/one defaults describe the
+///   per-episode, rebuild-per-step workloads those versions measured.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// What was run to produce a [`ThroughputSample`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +48,12 @@ pub struct Workload {
     pub train_episodes: usize,
     /// RNG seed for the controller.
     pub seed: u64,
+    /// Lockstep wave width: how many independent controllers trained
+    /// together sharing the precomputed cycle plan. Zero (the serde
+    /// default a pre-v3 report deserializes to) and one both denote the
+    /// single-controller workload.
+    #[serde(default)]
+    pub wave_width: usize,
 }
 
 /// One timed run of the workload.
@@ -67,6 +81,12 @@ pub struct ThroughputSample {
     /// when no batch call was made (v1 reports, scalar reference path).
     #[serde(default)]
     pub batch_width: f64,
+    /// Evaluation-context rebuilds during the workload. The cycle-level
+    /// context table collapses this to one per (cycle, vehicle-config)
+    /// pair; the pre-v3 workloads rebuilt once per simulated step. Zero
+    /// in v1/v2 reports (not recorded).
+    #[serde(default)]
+    pub ctx_rebuilds: u64,
 }
 
 /// The machine-readable report written by `repro --bench-json`.
@@ -180,33 +200,69 @@ impl StepThroughputReport {
 /// `scalar_reference` forces the scalar reference implementation of the
 /// inner optimization (no batched kernel), which measures the pre-batch
 /// code path — the denominator of the batching speedup.
+///
+/// `wave` (≥ 1) trains that many independent controllers in lockstep on
+/// the shared cycle plan, fusing their per-step candidate evaluations
+/// into one wide batch; `steps` then counts every lane's steps, so
+/// `steps_per_sec` measures the wave's aggregate throughput on the one
+/// measuring thread. Lane 0 keeps the caller's seed (the one-lane
+/// workload is the same measurement as before); extra lanes split their
+/// own streams from it.
 pub fn measure_step_throughput(
     train_episodes: usize,
     seed: u64,
     scalar_reference: bool,
+    wave: usize,
 ) -> (Workload, ThroughputSample) {
+    let wave = wave.max(1);
     let cycle = StandardCycle::Udds.cycle();
-    let mut cfg = JointControllerConfig::proposed();
-    cfg.seed = seed;
-    cfg.inner.scalar_reference = scalar_reference;
-    let mut agent = JointController::new(cfg);
-    let mut hev = fresh_hev(0.6);
+    let mut agents = Vec::with_capacity(wave);
+    let mut hevs = Vec::with_capacity(wave);
+    for lane in 0..wave {
+        let mut cfg = JointControllerConfig::proposed();
+        cfg.seed = if lane == 0 {
+            seed
+        } else {
+            split_seed(seed, lane as u64)
+        };
+        cfg.inner.scalar_reference = scalar_reference;
+        agents.push(JointController::new(cfg));
+        hevs.push(fresh_hev(0.6));
+    }
 
     hev_trace::evals::reset();
     let t0 = Instant::now();
-    agent.train(&mut hev, &cycle, train_episodes);
-    let metrics = agent.evaluate(&mut hev, &cycle);
+    // The plan build is inside the timed region: it is exactly the cost
+    // the table amortizes across every lane and episode.
+    let plans = vec![CyclePlan::new(&hevs[0], &cycle)];
+    let mut lanes: Vec<WaveTrainLane<'_>> = agents
+        .iter_mut()
+        .zip(hevs.iter_mut())
+        .map(|(agent, hev)| WaveTrainLane {
+            agent,
+            hev,
+            plans: &plans,
+            telemetry: None,
+        })
+        .collect();
+    train_portfolio_wave(&mut lanes, train_episodes);
+    drop(lanes);
+    let mut steps = 0u64;
+    for (agent, hev) in agents.iter_mut().zip(hevs.iter_mut()) {
+        let metrics = agent.evaluate_planned(hev, &plans[0]);
+        steps += metrics.steps as u64 * (train_episodes as u64 + 1);
+    }
     let wall_s = t0.elapsed().as_secs_f64();
     let evals = hev_trace::evals::count();
     let batch_lane_evals = hev_trace::evals::batch_lanes();
     let batch_calls = hev_trace::evals::batch_calls();
+    let ctx_rebuilds = hev_trace::evals::ctx_rebuilds();
 
-    let steps_per_episode = metrics.steps as u64;
-    let steps = steps_per_episode * (train_episodes as u64 + 1);
     let workload = Workload {
         cycle: "UDDS".to_string(),
         train_episodes,
         seed,
+        wave_width: wave,
     };
     let sample = ThroughputSample {
         wall_s,
@@ -229,6 +285,7 @@ pub fn measure_step_throughput(
         } else {
             0.0
         },
+        ctx_rebuilds,
     };
     (workload, sample)
 }
@@ -247,14 +304,16 @@ mod tests {
             batch_lane_evals: 0,
             batch_calls: 0,
             batch_width: 0.0,
+            ctx_rebuilds: 0,
         }
     }
 
     #[test]
     fn measurement_produces_consistent_sample() {
-        let (workload, sample) = measure_step_throughput(1, 42, false);
+        let (workload, sample) = measure_step_throughput(1, 42, false, 1);
         assert_eq!(workload.cycle, "UDDS");
         assert_eq!(workload.train_episodes, 1);
+        assert_eq!(workload.wave_width, 1);
         assert!(sample.steps > 0);
         assert!(sample.wall_s > 0.0);
         assert!(sample.steps_per_sec > 0.0);
@@ -274,11 +333,61 @@ mod tests {
 
     #[test]
     fn scalar_reference_measurement_bypasses_the_batched_kernel() {
-        let (_, sample) = measure_step_throughput(0, 42, true);
+        let (_, sample) = measure_step_throughput(0, 42, true, 1);
         assert!(sample.evals > 0);
         assert_eq!(sample.batch_lane_evals, 0);
         assert_eq!(sample.batch_calls, 0);
         assert_eq!(sample.batch_width, 0.0);
+    }
+
+    #[test]
+    fn context_table_collapses_rebuilds_to_one_per_cycle() {
+        let (_, sample) = measure_step_throughput(1, 42, false, 1);
+        // One UDDS cycle, one vehicle config: the whole workload (train
+        // + evaluate) must rebuild its context exactly once — the plan
+        // build. Anything above one means a per-step rebuild leaked back
+        // into the planned loop.
+        assert_eq!(
+            sample.ctx_rebuilds, 1,
+            "expected one context-table build for the whole workload"
+        );
+    }
+
+    #[test]
+    fn wave_measurement_fuses_lanes_and_shares_the_plan() {
+        let (w1, s1) = measure_step_throughput(1, 42, false, 1);
+        let (w4, s4) = measure_step_throughput(1, 42, false, 4);
+        assert_eq!(w4.wave_width, 4);
+        // Four lanes simulate four times the steps off one shared plan
+        // build, and fusing widens the mean batch without changing the
+        // per-lane work (lane 0 repeats the one-lane workload exactly).
+        assert_eq!(s4.steps, 4 * s1.steps);
+        assert_eq!(s4.ctx_rebuilds, 1);
+        assert!(
+            s4.batch_width > s1.batch_width,
+            "fused waves must widen the mean batch: {} vs {}",
+            s4.batch_width,
+            s1.batch_width
+        );
+        assert_eq!(w1.cycle, w4.cycle);
+    }
+
+    /// Lockstep fusion rearranges evaluations into wider batches but must
+    /// never change how many there are: the wave's total equals the sum of
+    /// the same lanes measured one at a time.
+    #[test]
+    fn wave_evals_equal_the_sum_of_sequential_lane_evals() {
+        let (_, wave) = measure_step_throughput(1, 42, false, 3);
+        let mut sequential = 0u64;
+        for lane in 0..3u64 {
+            let lane_seed = if lane == 0 { 42 } else { split_seed(42, lane) };
+            let (_, s) = measure_step_throughput(1, lane_seed, false, 1);
+            sequential += s.evals;
+        }
+        assert_eq!(
+            wave.evals, sequential,
+            "fused waves must do exactly the sequential lanes' work"
+        );
     }
 
     #[test]
@@ -287,6 +396,7 @@ mod tests {
             cycle: "UDDS".to_string(),
             train_episodes: 4,
             seed: 42,
+            wave_width: 8,
         };
         let current = ThroughputSample {
             wall_s: 0.5,
@@ -297,6 +407,7 @@ mod tests {
             batch_lane_evals: 910_000,
             batch_calls: 65_000,
             batch_width: 14.0,
+            ctx_rebuilds: 1,
         };
         let baseline = ThroughputSample {
             wall_s: 0.75,
@@ -307,6 +418,7 @@ mod tests {
             batch_lane_evals: 0,
             batch_calls: 0,
             batch_width: 0.0,
+            ctx_rebuilds: 0,
         };
         let report = StepThroughputReport::new(workload, current).with_baseline(baseline);
         let text = serde_json::to_string(&report).unwrap();
@@ -338,10 +450,38 @@ mod tests {
         assert_eq!(report.current.batch_lane_evals, 0);
         assert_eq!(report.current.batch_calls, 0);
         assert_eq!(report.current.batch_width, 0.0);
+        assert_eq!(report.current.ctx_rebuilds, 0);
+        assert_eq!(report.workload.wave_width, 0, "pre-v3 default: single lane");
         let baseline = report.baseline.expect("baseline survives");
         assert_eq!(baseline.evals, 1_062_241);
         assert_eq!(baseline.batch_lane_evals, 0);
         // The v1 report still guards: both bounds work against it.
+        assert!(report.guard_evals(10.0).is_ok());
+        assert!(report.guard_steps_per_sec(0.25).is_ok());
+    }
+
+    /// Golden test for the v2 reader: a committed schema-v2 report (lane
+    /// accounting but no amortization fields) must keep parsing, with
+    /// `ctx_rebuilds` and `wave_width` defaulting to zero (zero width
+    /// denotes a pre-v3 single-lane workload), and every v2 field
+    /// preserved.
+    #[test]
+    fn v2_report_parses_with_defaulted_amortization_fields() {
+        let v2 = r#"{"schema_version": 2,
+            "workload": {"cycle": "UDDS", "train_episodes": 4, "seed": 42},
+            "current": {"wall_s": 0.026186898, "steps": 6845,
+                        "steps_per_sec": 261390.2639946443,
+                        "evals": 751209, "evals_per_step": 109.74565376187,
+                        "batch_lane_evals": 696841, "batch_calls": 49636,
+                        "batch_width": 14.039043033282295},
+            "baseline": null, "speedup": null}"#;
+        let report: StepThroughputReport = serde_json::from_str(v2).expect("v2 reports parse");
+        assert_eq!(report.schema_version, 2);
+        assert_eq!(report.current.steps, 6845);
+        assert_eq!(report.current.batch_lane_evals, 696_841);
+        assert_eq!(report.current.batch_calls, 49_636);
+        assert_eq!(report.current.ctx_rebuilds, 0, "v3 field defaults to zero");
+        assert_eq!(report.workload.wave_width, 0, "pre-v3 default: single lane");
         assert!(report.guard_evals(10.0).is_ok());
         assert!(report.guard_steps_per_sec(0.25).is_ok());
     }
@@ -352,6 +492,7 @@ mod tests {
             cycle: "UDDS".to_string(),
             train_episodes: 4,
             seed: 42,
+            wave_width: 1,
         };
         let report =
             StepThroughputReport::new(workload.clone(), sample(101.0)).with_baseline(sample(100.0));
@@ -370,6 +511,7 @@ mod tests {
             cycle: "UDDS".to_string(),
             train_episodes: 4,
             seed: 42,
+            wave_width: 1,
         };
         let mk = |steps_per_sec: f64| ThroughputSample {
             steps_per_sec,

@@ -98,6 +98,21 @@ pub fn solve(
     initial_soc: f64,
     config: &DpConfig,
 ) -> DpSolution {
+    solve_impl(hev, cycle, initial_soc, config, true)
+}
+
+/// `use_table = true` tabulates every timestep's context once up front
+/// (one `ctx_rebuild` for the whole solve); `false` is the reference
+/// rebuilt-per-step path kept for differential testing — the two are
+/// bit-identical because the table stores exactly what the per-step
+/// rebuild would produce.
+fn solve_impl(
+    hev: &mut ParallelHev,
+    cycle: &DriveCycle,
+    initial_soc: f64,
+    config: &DpConfig,
+    use_table: bool,
+) -> DpSolution {
     assert!(config.soc_points >= 2, "need at least two soc grid points");
     assert!(!config.currents.is_empty(), "need candidate currents");
     let n = config.soc_points;
@@ -141,14 +156,22 @@ pub fn solve(
                 .map(|p| hev.demand(p.speed_mps, p.accel_mps2, p.grade)),
         );
     }
-    let mut ctx = hev_model::StepContext::default();
+    // The context is battery-state independent, so one per timestep
+    // serves the entire SOC grid: tabulate all of them up front and let
+    // the backward sweep index into the table.
+    let table = use_table.then(|| hev_model::ContextTable::build(hev, &demands, dt));
+    let mut rebuilt = hev_model::StepContext::default();
     // One resolve scratch serves the whole (time × SOC × current) sweep.
     let mut scratch = ResolveScratch::new();
     for t in (0..t_len).rev() {
         let demand = demands[t];
-        // The context is battery-state independent, so one per timestep
-        // serves the entire SOC grid below.
-        hev.rebuild_context(&mut ctx, &demand);
+        let ctx = match &table {
+            Some(tab) => tab.context(t),
+            None => {
+                hev.rebuild_context(&mut rebuilt, &demand);
+                &rebuilt
+            }
+        };
         let mut value_t = vec![f64::NEG_INFINITY; n];
         let mut row = Vec::with_capacity(n);
         #[allow(clippy::needless_range_loop)] // j indexes both value_t and the soc grid
@@ -158,7 +181,7 @@ pub fn solve(
             let mut best_c = None;
             for &i in &config.currents {
                 let Some(r) =
-                    inner.resolve_with_scratch(hev, &ctx, i, dt, &config.reward, &mut scratch)
+                    inner.resolve_with_scratch(hev, ctx, i, dt, &config.reward, &mut scratch)
                 else {
                     continue;
                 };
@@ -172,7 +195,7 @@ pub fn solve(
             let control = best_c.unwrap_or_else(|| fallback_control(hev, &demand, dt));
             if best_v == f64::NEG_INFINITY {
                 // Fallback value: simulate the fallback control.
-                if let Ok(o) = hev.peek_with_context(&ctx, &control, dt) {
+                if let Ok(o) = hev.peek_with_context(ctx, &control, dt) {
                     best_v = config.reward.paper_reward(&o) + interp(&value_next, o.soc_after);
                 } else {
                     best_v = -1e6;
@@ -267,6 +290,48 @@ mod tests {
         let soc_lenient = solve(&mut hev(), &cycle, 0.6, &lenient).metrics.soc_final;
         let soc_strict = solve(&mut hev(), &cycle, 0.6, &strict).metrics.soc_final;
         assert!(soc_strict >= soc_lenient - 1e-9);
+    }
+
+    #[test]
+    fn tabulated_solve_is_bit_identical_to_rebuilt_per_step() {
+        let cycle = small_cycle();
+        let cfg = quick_config();
+        let tabulated = solve_impl(&mut hev(), &cycle, 0.6, &cfg, true);
+        let reference = solve_impl(&mut hev(), &cycle, 0.6, &cfg, false);
+        assert_eq!(
+            tabulated.expected_reward.to_bits(),
+            reference.expected_reward.to_bits(),
+            "cost-to-go must not move when contexts come from the table"
+        );
+        assert_eq!(tabulated.policy, reference.policy);
+        assert_eq!(
+            tabulated.metrics.total_reward.to_bits(),
+            reference.metrics.total_reward.to_bits()
+        );
+        assert_eq!(
+            tabulated.metrics.fuel_g.to_bits(),
+            reference.metrics.fuel_g.to_bits()
+        );
+    }
+
+    #[test]
+    fn tabulated_solve_rebuilds_context_once() {
+        let cycle = small_cycle();
+        let cfg = quick_config();
+        let before = hev_trace::evals::counts();
+        solve_impl(&mut hev(), &cycle, 0.6, &cfg, true);
+        let tabulated = hev_trace::evals::counts().since(&before);
+        let before = hev_trace::evals::counts();
+        solve_impl(&mut hev(), &cycle, 0.6, &cfg, false);
+        let reference = hev_trace::evals::counts().since(&before);
+        // The backward sweep collapses from one rebuild per timestep to a
+        // single table build; the forward pass is unchanged in both.
+        assert_eq!(
+            tabulated.ctx_rebuilds + cycle.len() as u64 - 1,
+            reference.ctx_rebuilds,
+            "tabulated {tabulated:?} vs reference {reference:?}"
+        );
+        assert_eq!(tabulated.evals, reference.evals);
     }
 
     #[test]

@@ -9,14 +9,19 @@
 //! model-free* exactly as §4.3.2 describes.
 
 use crate::action::ActionSpace;
-use crate::inner_opt::{InnerOptimizer, ResolveScratch, ResolvedAction};
+use crate::inner_opt::{
+    fill_mask_wave, InnerOptimizer, ResolveScratch, ResolvedAction, WaveMaskLane,
+};
 use crate::metrics::EpisodeMetrics;
+use crate::plan::CyclePlan;
 use crate::reward::RewardConfig;
 use crate::sim::{
-    fallback_control, simulate, simulate_instrumented, ControlError, HevPolicy, Observation,
+    fallback_control, simulate, simulate_instrumented, simulate_planned,
+    simulate_planned_instrumented, ControlError, HevPolicy, Observation,
 };
 use crate::state::{StateSample, StateSpace, StateSpaceConfig};
 use crate::telemetry::{DecisionInfo, EpisodeTelemetry, PolicyTelemetry};
+use crate::wave::WaveStep;
 use drive_cycle::DriveCycle;
 use hev_model::{CandidateBatch, ControlInput, CurrentContextCache, ParallelHev, StepOutcome};
 use hev_predict::{Ewma, Predictor};
@@ -222,6 +227,11 @@ struct StepScratch {
     /// `batch`/`full_lane` hold this step's per-action outcomes and the
     /// myopic argmax reads them instead of re-peeking.
     mask_batch_stamp: u64,
+    /// Set by the lockstep wave's fused prefill: the next `decide` call
+    /// finds its scratch already reset and its mask already filled (with
+    /// evaluations fused across wave lanes) and must not redo either.
+    /// Consumed (cleared) by that `decide`.
+    prefilled: bool,
 }
 
 impl StepScratch {
@@ -416,6 +426,100 @@ impl<P: Predictor> JointController<P> {
             }
         }
         out
+    }
+
+    /// [`JointController::train_episode`] against a precomputed
+    /// [`CyclePlan`]: bit-identical, but the per-step context precompute
+    /// is amortized into the plan's one-time build.
+    pub fn train_episode_planned(
+        &mut self,
+        hev: &mut ParallelHev,
+        plan: &CyclePlan,
+    ) -> EpisodeMetrics {
+        self.training = true;
+        hev.reset_soc(self.config.initial_soc);
+        let reward = self.config.reward;
+        simulate_planned(hev, plan, self, &reward)
+    }
+
+    /// [`JointController::train_episode_planned`] with an optional
+    /// telemetry collector (labelled `"train"`).
+    pub fn train_episode_planned_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        plan: &CyclePlan,
+        telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> EpisodeMetrics {
+        match telemetry {
+            None => self.train_episode_planned(hev, plan),
+            Some(t) => {
+                self.training = true;
+                hev.reset_soc(self.config.initial_soc);
+                let reward = self.config.reward;
+                t.set_kind("train");
+                simulate_planned_instrumented(hev, plan, self, &reward, None, Some(t))
+            }
+        }
+    }
+
+    /// [`JointController::train_portfolio`] against precomputed plans
+    /// (one per portfolio cycle, in portfolio order).
+    pub fn train_portfolio_planned(
+        &mut self,
+        hev: &mut ParallelHev,
+        plans: &[CyclePlan],
+        rounds: usize,
+    ) -> Vec<EpisodeMetrics> {
+        self.train_portfolio_planned_instrumented(hev, plans, rounds, None)
+    }
+
+    /// [`JointController::train_portfolio_planned`] with an optional
+    /// telemetry collector shared by every episode.
+    pub fn train_portfolio_planned_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        plans: &[CyclePlan],
+        rounds: usize,
+        mut telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> Vec<EpisodeMetrics> {
+        let mut out = Vec::with_capacity(rounds * plans.len());
+        for _ in 0..rounds {
+            for plan in plans {
+                out.push(self.train_episode_planned_instrumented(
+                    hev,
+                    plan,
+                    telemetry.as_deref_mut(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// [`JointController::evaluate`] against a precomputed [`CyclePlan`].
+    pub fn evaluate_planned(&mut self, hev: &mut ParallelHev, plan: &CyclePlan) -> EpisodeMetrics {
+        self.evaluate_planned_instrumented(hev, plan, None)
+    }
+
+    /// [`JointController::evaluate_planned`] with an optional telemetry
+    /// collector (labelled `"eval"`).
+    pub fn evaluate_planned_instrumented(
+        &mut self,
+        hev: &mut ParallelHev,
+        plan: &CyclePlan,
+        telemetry: Option<&mut EpisodeTelemetry>,
+    ) -> EpisodeMetrics {
+        self.training = false;
+        hev.reset_soc(self.config.initial_soc);
+        let reward = self.config.reward;
+        let metrics = match telemetry {
+            None => simulate_planned(hev, plan, self, &reward),
+            Some(t) => {
+                t.set_kind("eval");
+                simulate_planned_instrumented(hev, plan, self, &reward, None, Some(t))
+            }
+        };
+        self.training = true;
+        metrics
     }
 
     /// Greedy evaluation on a cycle (no exploration, no learning).
@@ -642,8 +746,13 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         if self.record_stats {
             self.last_decision = None;
         }
-        self.scratch.reset(self.config.action.len());
-        self.fill_action_mask(hev, obs);
+        // A wave prefill already reset the scratch and filled the mask
+        // (bit-identically — same evaluations, fused across lanes);
+        // everything after this point is per-lane work either way.
+        if !std::mem::take(&mut self.scratch.prefilled) {
+            self.scratch.reset(self.config.action.len());
+            self.fill_action_mask(hev, obs);
+        }
         if !self.scratch.mask.iter().any(|&m| m) {
             // No discrete action feasible (rare): let the harness fall
             // back; no learning credit this step.
@@ -758,6 +867,79 @@ impl<P: Predictor> HevPolicy for JointController<P> {
             td: self.td_stats.clone(),
             q: QStats::from_table(self.learner.q()),
         })
+    }
+}
+
+impl<P: Predictor> WaveStep for JointController<P> {
+    /// Fused per-step prefill: resets every lane's scratch, then fills
+    /// the reduced-space feasibility masks with candidate evaluations
+    /// fused across lanes into `shared` (one gear-major wave per gear
+    /// index). Lanes that can't fuse — scalar reference mode, full
+    /// action space, more than 64 grid currents, or a step length that
+    /// differs from the wave's — fill their own mask exactly as a
+    /// sequential `decide` would. Either way, each lane's mask, memo
+    /// epoch, and caches end up bit-identical to the sequential path,
+    /// and the following `decide` skips straight to action selection.
+    fn prefill_wave(
+        policies: &mut [&mut Self],
+        hevs: &[&ParallelHev],
+        obses: &[Observation<'_>],
+        shared: &mut CandidateBatch,
+        counts: &mut [hev_trace::evals::Counts],
+    ) {
+        let n = policies.len();
+        let mut eligible = vec![false; n];
+        let mut fused_dt: Option<f64> = None;
+        for (i, p) in policies.iter_mut().enumerate() {
+            let p = &mut **p;
+            let before = hev_trace::evals::counts();
+            p.scratch.reset(p.config.action.len());
+            let dt = p.config.reward.dt_s;
+            let mut ok = !p.config.inner.scalar_reference
+                && matches!(&p.config.action, ActionSpace::Reduced { currents } if currents.len() <= 64);
+            if ok {
+                match fused_dt {
+                    None => fused_dt = Some(dt),
+                    Some(d) if d.to_bits() == dt.to_bits() => {}
+                    Some(_) => ok = false,
+                }
+            }
+            if !ok {
+                p.fill_action_mask(hevs[i], &obses[i]);
+            }
+            eligible[i] = ok;
+            p.scratch.prefilled = true;
+            counts[i].add(&hev_trace::evals::counts().since(&before));
+        }
+        let Some(dt) = fused_dt else {
+            return;
+        };
+        let mut lanes: Vec<WaveMaskLane<'_>> = Vec::with_capacity(n);
+        let mut fused_idx: Vec<usize> = Vec::with_capacity(n);
+        for (i, p) in policies.iter_mut().enumerate() {
+            if !eligible[i] {
+                continue;
+            }
+            let p = &mut **p;
+            let ActionSpace::Reduced { currents } = &p.config.action else {
+                continue;
+            };
+            lanes.push(WaveMaskLane {
+                inner: p.config.inner,
+                hev: hevs[i],
+                ctx: obses[i].ctx,
+                currents,
+                scratch: &mut p.scratch.resolve,
+                mask: p.scratch.mask.as_mut_slice(),
+            });
+            fused_idx.push(i);
+        }
+        let mut lane_counts = vec![hev_trace::evals::Counts::default(); lanes.len()];
+        fill_mask_wave(&mut lanes, dt, shared, &mut lane_counts);
+        drop(lanes);
+        for (k, &i) in fused_idx.iter().enumerate() {
+            counts[i].add(&lane_counts[k]);
+        }
     }
 }
 

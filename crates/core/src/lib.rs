@@ -67,12 +67,14 @@ pub mod fault;
 pub mod harness;
 pub mod inner_opt;
 pub mod metrics;
+pub mod plan;
 pub mod policy_export;
 pub mod reward;
 pub mod sim;
 pub mod state;
 pub mod supervisor;
 pub mod telemetry;
+pub mod wave;
 
 pub use action::{default_currents, ActionChoice, ActionSpace};
 pub use analysis::{EnergyAudit, Recorder, TracePoint};
@@ -88,14 +90,16 @@ pub use harness::{
 };
 pub use inner_opt::{InnerOptimizer, ResolveScratch, ResolvedAction};
 pub use metrics::{mode_index, DegradationReport, EpisodeMetrics, MetricsSummary, StatSummary};
+pub use plan::CyclePlan;
 pub use policy_export::PolicyTable;
 pub use reward::RewardConfig;
 pub use sim::{
-    fallback_control, simulate, simulate_instrumented, simulate_with_faults, ControlError,
-    HevPolicy, Observation,
+    fallback_control, simulate, simulate_instrumented, simulate_planned,
+    simulate_planned_instrumented, simulate_with_faults, ControlError, HevPolicy, Observation,
 };
 pub use state::{StateSample, StateSpace, StateSpaceConfig};
 pub use supervisor::{SupervisedPolicy, SupervisorConfig};
 pub use telemetry::{
     DecisionInfo, EpisodeTelemetry, PolicyTelemetry, RunTelemetry, TelemetryConfig,
 };
+pub use wave::{simulate_wave, train_portfolio_wave, WaveLane, WaveStep, WaveTrainLane};

@@ -3,10 +3,11 @@
 
 use crate::fault::FaultPlan;
 use crate::metrics::{DegradationReport, EpisodeMetrics};
+use crate::plan::CyclePlan;
 use crate::reward::RewardConfig;
 use crate::telemetry::{DecisionInfo, EpisodeTelemetry, PolicyTelemetry};
 use drive_cycle::DriveCycle;
-use hev_model::{ControlInput, ParallelHev, StepContext, StepOutcome, WheelDemand};
+use hev_model::{ContextTable, ControlInput, ParallelHev, StepContext, StepOutcome, WheelDemand};
 use hev_trace::StepEvent;
 
 /// A typed controller-internal failure while producing a control.
@@ -253,6 +254,147 @@ pub fn simulate_instrumented(
     cycle: &DriveCycle,
     controller: &mut dyn HevPolicy,
     reward: &RewardConfig,
+    faults: Option<&mut FaultPlan>,
+    telemetry: Option<&mut EpisodeTelemetry>,
+) -> EpisodeMetrics {
+    simulate_core(hev, cycle, None, controller, reward, faults, telemetry)
+}
+
+/// [`simulate`] against a precomputed [`CyclePlan`]: bit-identical to the
+/// per-step path, but the per-step demand and context precompute comes
+/// from the plan's shared table, so a steady-state episode records zero
+/// `ctx_rebuilds`.
+pub fn simulate_planned(
+    hev: &mut ParallelHev,
+    plan: &CyclePlan,
+    controller: &mut dyn HevPolicy,
+    reward: &RewardConfig,
+) -> EpisodeMetrics {
+    simulate_planned_instrumented(hev, plan, controller, reward, None, None)
+}
+
+/// [`simulate_instrumented`] against a precomputed [`CyclePlan`].
+///
+/// Fault-injected steps whose motor derate is active bypass the table
+/// for exactly those steps (the derated envelope changes the per-gear
+/// torque tables) and rebuild locally — counted, because those rebuilds
+/// are real; every healthy step reads the shared table and records
+/// nothing.
+pub fn simulate_planned_instrumented(
+    hev: &mut ParallelHev,
+    plan: &CyclePlan,
+    controller: &mut dyn HevPolicy,
+    reward: &RewardConfig,
+    faults: Option<&mut FaultPlan>,
+    telemetry: Option<&mut EpisodeTelemetry>,
+) -> EpisodeMetrics {
+    simulate_core(
+        hev,
+        plan.cycle(),
+        Some(plan.table()),
+        controller,
+        reward,
+        faults,
+        telemetry,
+    )
+}
+
+/// Everything a decided step consumes besides the vehicle, the
+/// controller, and the observation: the *true* (unfaulted) demand the
+/// plant steps on, and the kinematic scalars of the cycle point.
+pub(crate) struct StepEnv<'a> {
+    /// True wheel demand (the observation may carry a noisy copy).
+    pub(crate) true_demand: &'a WheelDemand,
+    /// The cycle point's speed, m/s (for the distance integral).
+    pub(crate) point_speed_mps: f64,
+    /// Step length, s.
+    pub(crate) dt: f64,
+}
+
+/// The mutable sinks of a decided step: the fault plan's read-only
+/// disturbance channel, the reward model, the episode tally, and the
+/// optional telemetry collector.
+pub(crate) struct StepIo<'a> {
+    pub(crate) faults: Option<&'a FaultPlan>,
+    pub(crate) reward: &'a RewardConfig,
+    pub(crate) metrics: &'a mut EpisodeMetrics,
+    pub(crate) telemetry: Option<&'a mut EpisodeTelemetry>,
+}
+
+/// One decided step: asks the controller, applies any auxiliary-load
+/// disturbance, steps the plant (falling back on infeasibility), scores
+/// the outcome, and records metrics/telemetry/feedback. Shared verbatim
+/// by the sequential loop and the lockstep episode wave so both are
+/// bit-identical by construction.
+pub(crate) fn decided_step(
+    hev: &mut ParallelHev,
+    controller: &mut dyn HevPolicy,
+    obs: &Observation<'_>,
+    env: &StepEnv<'_>,
+    io: &mut StepIo<'_>,
+) {
+    let mut control = controller.decide(hev, obs);
+    if let Some(plan) = io.faults {
+        let extra_w = plan.aux_disturbance_at(obs.time_s);
+        if extra_w > 0.0 {
+            let (_, aux_max) = hev.aux().power_range();
+            control.p_aux_w = (control.p_aux_w + extra_w).min(aux_max);
+        }
+    }
+    let (outcome, was_fallback) = match hev.step_with_context(obs.ctx, &control, env.dt) {
+        Ok(o) => (o, false),
+        Err(_) => (
+            step_with_fallback(hev, env.true_demand, env.dt, io.metrics),
+            true,
+        ),
+    };
+    let r = io.reward.reward(&outcome);
+    io.metrics.record(
+        &outcome,
+        io.reward.paper_reward(&outcome),
+        env.point_speed_mps * env.dt,
+        was_fallback,
+    );
+    if let Some(t) = io.telemetry.as_deref_mut() {
+        let info = controller.last_decision();
+        t.record_step(&StepEvent {
+            episode: t.episode(),
+            kind: t.kind(),
+            step: obs.step as u64,
+            time_s: obs.time_s,
+            p_dem_w: obs.demand.power_demand_w,
+            speed_mps: obs.demand.speed_mps,
+            soc: obs.soc,
+            prediction_w: info.map_or(0.0, |i| i.prediction_w),
+            state: info.map(|i| i.state as u64),
+            feasible: info.map(|i| i.feasible as u64),
+            action: info.map(|i| i.action as u64),
+            current_a: control.battery_current_a,
+            gear: control.gear as u64,
+            p_aux_w: control.p_aux_w,
+            reward: r,
+            fuel_g: outcome.fuel_g,
+            aux_term: io.reward.aux_weight * outcome.aux_utility * io.reward.dt_s,
+            soc_after: outcome.soc_after,
+            fallback: was_fallback,
+        });
+        let control_finite = control.battery_current_a.is_finite() && control.p_aux_w.is_finite();
+        let rejections = controller.degradation().map_or(0, |d| d.rejections());
+        t.note_step_health(obs.step as u64, control_finite, rejections);
+    }
+    controller.feedback(hev, obs, &outcome, r);
+}
+
+/// The one simulation loop behind every public entry point. With
+/// `table: None` each step derives its demand and rebuilds its context;
+/// with a table both come precomputed, and a local (counted) rebuild
+/// happens only on steps whose motor derate is active.
+fn simulate_core(
+    hev: &mut ParallelHev,
+    cycle: &DriveCycle,
+    table: Option<&ContextTable>,
+    controller: &mut dyn HevPolicy,
+    reward: &RewardConfig,
     mut faults: Option<&mut FaultPlan>,
     mut telemetry: Option<&mut EpisodeTelemetry>,
 ) -> EpisodeMetrics {
@@ -260,7 +402,8 @@ pub fn simulate_instrumented(
     let mut metrics = EpisodeMetrics::new(hev.soc());
     // One step context per step, its gear table reused across the whole
     // episode: the controller's mask/argmax/act evaluations and the final
-    // apply all complete against the same precomputed kinematics.
+    // apply all complete against the same precomputed kinematics. When a
+    // cycle table is supplied this scratch serves only derated steps.
     let mut ctx = StepContext::default();
     if let Some(plan) = faults.as_deref_mut() {
         plan.begin_episode(cycle.duration_s());
@@ -271,70 +414,53 @@ pub fn simulate_instrumented(
     }
     controller.begin_episode();
     for (step, point) in cycle.points().enumerate() {
+        let mut derate = 1.0;
         if let Some(plan) = faults.as_deref() {
-            hev.set_motor_derate(plan.motor_derate_at(point.time_s));
+            derate = plan.motor_derate_at(point.time_s);
+            hev.set_motor_derate(derate);
         }
-        let demand = hev.demand(point.speed_mps, point.accel_mps2, point.grade);
-        hev.rebuild_context(&mut ctx, &demand);
+        let owned_demand;
+        let demand: &WheelDemand = match table {
+            Some(tab) => tab.demand(step),
+            None => {
+                owned_demand = hev.demand(point.speed_mps, point.accel_mps2, point.grade);
+                &owned_demand
+            }
+        };
+        let ctx_ref: &StepContext = match table {
+            // The table was built healthy; a derated motor envelope
+            // changes the per-gear torque tables, so those steps rebuild
+            // locally (and are counted — the rebuild is real).
+            // hevlint::allow(float::eq, exact sentinel: motor_derate_at returns literal 1.0 outside the fault window; the value is configuration, not an arithmetic result)
+            Some(tab) if derate == 1.0 => tab.context(step),
+            _ => {
+                hev.rebuild_context(&mut ctx, demand);
+                &ctx
+            }
+        };
         let (observed_soc, observed_demand) = match faults.as_deref_mut() {
-            Some(plan) => plan.sensor(point.time_s, hev.soc(), &demand),
-            None => (hev.soc(), demand),
+            Some(plan) => plan.sensor(point.time_s, hev.soc(), demand),
+            None => (hev.soc(), *demand),
         };
         let obs = Observation {
             step,
             time_s: point.time_s,
             demand: &observed_demand,
             soc: observed_soc,
-            ctx: &ctx,
+            ctx: ctx_ref,
         };
-        let mut control = controller.decide(hev, &obs);
-        if let Some(plan) = faults.as_deref() {
-            let extra_w = plan.aux_disturbance_at(point.time_s);
-            if extra_w > 0.0 {
-                let (_, aux_max) = hev.aux().power_range();
-                control.p_aux_w = (control.p_aux_w + extra_w).min(aux_max);
-            }
-        }
-        let (outcome, was_fallback) = match hev.step_with_context(&ctx, &control, dt) {
-            Ok(o) => (o, false),
-            Err(_) => (step_with_fallback(hev, &demand, dt, &mut metrics), true),
+        let env = StepEnv {
+            true_demand: demand,
+            point_speed_mps: point.speed_mps,
+            dt,
         };
-        let r = reward.reward(&outcome);
-        metrics.record(
-            &outcome,
-            reward.paper_reward(&outcome),
-            point.speed_mps * dt,
-            was_fallback,
-        );
-        if let Some(t) = telemetry.as_deref_mut() {
-            let info = controller.last_decision();
-            t.record_step(&StepEvent {
-                episode: t.episode(),
-                kind: t.kind(),
-                step: step as u64,
-                time_s: point.time_s,
-                p_dem_w: observed_demand.power_demand_w,
-                speed_mps: observed_demand.speed_mps,
-                soc: observed_soc,
-                prediction_w: info.map_or(0.0, |i| i.prediction_w),
-                state: info.map(|i| i.state as u64),
-                feasible: info.map(|i| i.feasible as u64),
-                action: info.map(|i| i.action as u64),
-                current_a: control.battery_current_a,
-                gear: control.gear as u64,
-                p_aux_w: control.p_aux_w,
-                reward: r,
-                fuel_g: outcome.fuel_g,
-                aux_term: reward.aux_weight * outcome.aux_utility * reward.dt_s,
-                soc_after: outcome.soc_after,
-                fallback: was_fallback,
-            });
-            let control_finite =
-                control.battery_current_a.is_finite() && control.p_aux_w.is_finite();
-            let rejections = controller.degradation().map_or(0, |d| d.rejections());
-            t.note_step_health(step as u64, control_finite, rejections);
-        }
-        controller.feedback(hev, &obs, &outcome, r);
+        let mut io = StepIo {
+            faults: faults.as_deref(),
+            reward,
+            metrics: &mut metrics,
+            telemetry: telemetry.as_deref_mut(),
+        };
+        decided_step(hev, controller, &obs, &env, &mut io);
     }
     if faults.is_some() {
         // Leave the vehicle healthy for the next (differently-windowed)
@@ -498,6 +624,98 @@ mod tests {
         );
         assert_eq!(m.soc_initial, 0.6);
         assert_eq!(m.soc_final, hev.soc());
+    }
+
+    fn assert_metrics_bit_identical(a: &EpisodeMetrics, b: &EpisodeMetrics) {
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.fallback_steps, b.fallback_steps);
+        assert_eq!(a.trace_miss_steps, b.trace_miss_steps);
+        assert_eq!(a.fuel_g.to_bits(), b.fuel_g.to_bits());
+        assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+        assert_eq!(a.total_reward.to_bits(), b.total_reward.to_bits());
+        assert_eq!(a.soc_final.to_bits(), b.soc_final.to_bits());
+    }
+
+    #[test]
+    fn planned_episode_is_bit_identical_to_per_step_path() {
+        let cycle = short_cycle();
+        let mut unplanned_hev = hev();
+        let baseline = simulate(
+            &mut unplanned_hev,
+            &cycle,
+            &mut Passive,
+            &RewardConfig::default(),
+        );
+        let mut planned_hev = hev();
+        let plan = CyclePlan::new(&planned_hev, &cycle);
+        let planned = simulate_planned(
+            &mut planned_hev,
+            &plan,
+            &mut Passive,
+            &RewardConfig::default(),
+        );
+        assert_metrics_bit_identical(&baseline, &planned);
+        assert_eq!(
+            planned_hev.soc().to_bits(),
+            unplanned_hev.soc().to_bits(),
+            "plant state must agree after the episode"
+        );
+    }
+
+    #[test]
+    fn planned_episode_skips_the_loop_rebuilds() {
+        // `Passive` decides via `fallback_control`, whose scan builds one
+        // (counted) step context per step in both paths; the per-step
+        // loop's own rebuild is what the plan amortizes away. So the
+        // planned episode must record exactly `len` fewer rebuilds.
+        let cycle = short_cycle();
+        let mut a = hev();
+        let before = hev_trace::evals::ctx_rebuilds();
+        simulate(&mut a, &cycle, &mut Passive, &RewardConfig::default());
+        let unplanned = hev_trace::evals::ctx_rebuilds().wrapping_sub(before);
+        let mut b = hev();
+        let plan = CyclePlan::new(&b, &cycle);
+        let before = hev_trace::evals::ctx_rebuilds();
+        simulate_planned(&mut b, &plan, &mut Passive, &RewardConfig::default());
+        let planned = hev_trace::evals::ctx_rebuilds().wrapping_sub(before);
+        assert_eq!(planned, unplanned - cycle.len() as u64);
+    }
+
+    #[test]
+    fn planned_faulted_episode_matches_per_step_path() {
+        use crate::fault::FaultConfig;
+        let cycle = short_cycle();
+        let config = FaultConfig {
+            soc_noise: 0.01,
+            soc_drift_per_1000s: 0.02,
+            speed_noise: 0.02,
+            derate_factor: 0.6,
+            derate_window_s: 5.0,
+            aux_step_w: 300.0,
+            aux_window_s: 4.0,
+            capacity_fade: 0.0,
+        };
+        let mut unplanned_hev = hev();
+        let mut faults = FaultPlan::new(config, 7);
+        let baseline = simulate_with_faults(
+            &mut unplanned_hev,
+            &cycle,
+            &mut Passive,
+            &RewardConfig::default(),
+            Some(&mut faults),
+        );
+        let mut planned_hev = hev();
+        let plan = CyclePlan::new(&planned_hev, &cycle);
+        let mut faults = FaultPlan::new(config, 7);
+        let planned = simulate_planned_instrumented(
+            &mut planned_hev,
+            &plan,
+            &mut Passive,
+            &RewardConfig::default(),
+            Some(&mut faults),
+            None,
+        );
+        assert_metrics_bit_identical(&baseline, &planned);
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! (see `hev_trace::sink`), which is what makes the emitted files
 //! byte-identical across `--jobs` worker counts.
 
+use crate::harness::runlog::RunEvent;
 use crate::metrics::EpisodeMetrics;
 use crate::reward::RewardConfig;
 use hev_rl::{QStats, TdStats, TD_ABS_DELTA_BOUNDS};
+use hev_trace::evals::Counts;
 use hev_trace::json;
 use hev_trace::{FlightRecorder, MetricsRegistry, StepEvent, TraceSampler};
 
@@ -127,7 +129,15 @@ pub struct EpisodeTelemetry {
     metrics_lines: Vec<String>,
     trace_lines: Vec<String>,
     prometheus: String,
-    evals_at_start: u64,
+    counts_at_start: Counts,
+    /// When `Some`, this episode's evaluation counters come from
+    /// explicitly attributed deltas (see [`Self::attribute_counts`])
+    /// instead of the thread-local window — the lockstep wave's way of
+    /// keeping per-lane counts exact while many lanes share a thread.
+    attributed: Option<Counts>,
+    /// When `Some`, run-log mirror events are buffered here instead of
+    /// being emitted live (see [`Self::buffer_runlog`]).
+    runlog_buffer: Option<Vec<RunEvent>>,
     last_rejections: usize,
     dumped: bool,
 }
@@ -146,7 +156,9 @@ impl EpisodeTelemetry {
             metrics_lines: Vec::new(),
             trace_lines: Vec::new(),
             prometheus: String::new(),
-            evals_at_start: 0,
+            counts_at_start: Counts::default(),
+            attributed: None,
+            runlog_buffer: None,
             last_rejections: 0,
             dumped: false,
         }
@@ -178,13 +190,52 @@ impl EpisodeTelemetry {
     }
 
     /// Resets per-episode state; called by the simulation loop at the
-    /// top of each instrumented episode.
+    /// top of each instrumented episode. Falls back to windowed counter
+    /// deltas; a lockstep wave re-enables attribution per episode via
+    /// [`Self::attribute_counts`].
     pub fn begin_episode(&mut self) {
         self.registry.clear();
         self.flight.clear();
-        self.evals_at_start = hev_trace::evals::count();
+        self.counts_at_start = hev_trace::evals::counts();
+        self.attributed = None;
         self.last_rejections = 0;
         self.dumped = false;
+    }
+
+    /// Switches the current episode's evaluation counters to explicitly
+    /// attributed deltas (starting from zero); the driver then feeds
+    /// per-step shares via [`Self::note_counts`]. Call after
+    /// [`Self::begin_episode`] — beginning an episode reverts to the
+    /// windowed default.
+    pub fn attribute_counts(&mut self) {
+        self.attributed = Some(Counts::default());
+    }
+
+    /// Adds one attributed counter delta to the current episode (no-op
+    /// unless [`Self::attribute_counts`] enabled attribution).
+    pub fn note_counts(&mut self, delta: &Counts) {
+        if let Some(acc) = self.attributed.as_mut() {
+            acc.add(delta);
+        }
+    }
+
+    /// Diverts the run-log mirror of `episode_metrics` events into an
+    /// internal buffer; the harness drains it with
+    /// [`Self::take_runlog_events`] and emits the events in task order.
+    /// Used by chunked (wave) execution, where live emission would
+    /// interleave lanes.
+    pub fn buffer_runlog(&mut self) {
+        self.runlog_buffer = Some(Vec::new());
+    }
+
+    /// Drains the buffered run-log events, leaving buffering enabled
+    /// (empty when [`Self::buffer_runlog`] was never called or nothing
+    /// was buffered).
+    pub fn take_runlog_events(&mut self) -> Vec<RunEvent> {
+        self.runlog_buffer
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Records one simulated step: always into the flight ring, and into
@@ -262,11 +313,14 @@ impl EpisodeTelemetry {
             if let Ok(snapshot) =
                 serde_json::from_str::<serde::Value>(&self.registry.snapshot_json())
             {
-                crate::harness::runlog::emit(
-                    &crate::harness::runlog::RunEvent::new("episode_metrics", self.run.clone())
+                let event =
+                    crate::harness::runlog::RunEvent::new("episode_metrics", self.run.clone())
                         .index(self.episode as usize)
-                        .metrics(snapshot),
-                );
+                        .metrics(snapshot);
+                match self.runlog_buffer.as_mut() {
+                    Some(buf) => buf.push(event),
+                    None => crate::harness::runlog::emit(&event),
+                }
             }
         }
         self.episode += 1;
@@ -278,9 +332,18 @@ impl EpisodeTelemetry {
         reward: &RewardConfig,
         policy: Option<PolicyTelemetry>,
     ) {
+        // Attributed deltas when the wave driver feeds them, else the
+        // episode's thread-local counter window; identical by
+        // construction (the differential suite pins it).
+        let counts = self
+            .attributed
+            .unwrap_or_else(|| hev_trace::evals::counts().since(&self.counts_at_start));
         let r = &mut self.registry;
         r.counter_add("steps", metrics.steps as u64);
-        r.counter_add("evals", hev_trace::evals::since(self.evals_at_start));
+        r.counter_add("evals", counts.evals);
+        r.counter_add("ctx_rebuilds", counts.ctx_rebuilds);
+        r.counter_add("ctx_cache_hits", counts.ctx_cache_hits);
+        r.counter_add("ctx_cache_misses", counts.ctx_cache_misses);
         r.counter_add("fallback_steps", metrics.fallback_steps as u64);
         r.counter_add("trace_miss_steps", metrics.trace_miss_steps as u64);
         r.gauge_set("fuel_g", metrics.fuel_g);

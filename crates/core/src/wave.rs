@@ -1,0 +1,324 @@
+//! Multi-episode lockstep waves.
+//!
+//! A *wave* steps `W` independent episodes of equal-length, equal-`dt`
+//! drive cycles in lockstep: at every timestep, each lane's precomputed
+//! demand/context comes from its [`CyclePlan`] (built once, shared
+//! through an `Arc`), and the lanes' candidate evaluations are fused
+//! into one shared [`CandidateBatch`] through
+//! [`WaveStep::prefill_wave`], so the batched kernel's width scales
+//! with the wave width instead of one lane's candidate count.
+//!
+//! # Determinism
+//!
+//! Lockstep preserves bit-identity with the per-episode path because
+//! every lane's work is a pure function of that lane's own state:
+//!
+//! * the fused mask kernel evaluates exactly the candidates the
+//!   sequential kernel would, against the same per-lane contexts and
+//!   caches, in the same per-lane order — lanes share only the batch
+//!   *storage*, never results;
+//! * each lane's decide/step/feedback tail runs through the same
+//!   [`decided_step`] the sequential loop uses, in lane order within
+//!   each step, and lanes touch disjoint vehicles, policies, RNGs, and
+//!   fault plans;
+//! * per-lane telemetry counters are attributed by snapshotting the
+//!   thread-local [`evals`](hev_trace::evals) counters around each
+//!   lane's work, so per-episode counts reproduce the sequential
+//!   numbers exactly.
+//!
+//! Waves whose plans are not lockstep-compatible (unequal length or
+//! `dt`), and single-lane waves, fall back to the sequential planned
+//! path — the `W = 1` reference semantics.
+
+use crate::fault::FaultPlan;
+use crate::metrics::EpisodeMetrics;
+use crate::plan::CyclePlan;
+use crate::reward::RewardConfig;
+use crate::sim::{
+    decided_step, simulate_planned_instrumented, HevPolicy, Observation, StepEnv, StepIo,
+};
+use crate::telemetry::EpisodeTelemetry;
+use hev_model::{CandidateBatch, ParallelHev, StepContext, WheelDemand};
+use hev_predict::{Ewma, Predictor};
+use hev_trace::evals::{self, Counts};
+
+use crate::controller::JointController;
+
+/// A policy that can participate in a lockstep episode wave.
+///
+/// The one hook beyond [`HevPolicy`] is [`WaveStep::prefill_wave`]: the
+/// wave driver offers every lane's observation at once, and the policy
+/// may precompute its per-step scratch (e.g. the feasibility mask) with
+/// evaluations fused across lanes into the shared batch. The default
+/// does nothing — each lane's `decide` then fills its own scratch,
+/// which is always correct, just unfused.
+pub trait WaveStep: HevPolicy {
+    /// Precomputes per-step scratch for every lane at once, fusing
+    /// cross-lane work into `shared`.
+    ///
+    /// `policies`, `hevs`, `obses`, and `counts` are parallel arrays,
+    /// one entry per lane. Implementations must add each lane's share
+    /// of any recorded evaluations to `counts[lane]` (the driver zeroes
+    /// the array first), and must leave every lane in a state where the
+    /// following `decide` call returns exactly what it would have
+    /// without prefill.
+    fn prefill_wave(
+        policies: &mut [&mut Self],
+        hevs: &[&ParallelHev],
+        obses: &[Observation<'_>],
+        shared: &mut CandidateBatch,
+        counts: &mut [Counts],
+    ) where
+        Self: Sized,
+    {
+        let _ = (policies, hevs, obses, shared, counts);
+    }
+}
+
+/// One lane of a lockstep wave: a policy, its vehicle, its cycle plan,
+/// and its per-lane reward/fault/telemetry channels. Lanes never share
+/// mutable state.
+pub struct WaveLane<'a, T: WaveStep> {
+    /// The lane's policy.
+    pub policy: &'a mut T,
+    /// The lane's vehicle (battery state carries across steps).
+    pub hev: &'a mut ParallelHev,
+    /// The lane's precomputed cycle plan.
+    pub plan: &'a CyclePlan,
+    /// The lane's reward model.
+    pub reward: RewardConfig,
+    /// Optional per-lane fault-injection plan.
+    pub faults: Option<&'a mut FaultPlan>,
+    /// Optional per-lane telemetry collector.
+    pub telemetry: Option<&'a mut EpisodeTelemetry>,
+}
+
+/// Per-lane staging for one lockstep timestep: what phase A (demand,
+/// context, sensor) produces and the decide phase consumes.
+#[derive(Default)]
+struct LaneStage {
+    observed_demand: WheelDemand,
+    observed_soc: f64,
+    /// Locally rebuilt context for derated steps; unused otherwise.
+    local_ctx: StepContext,
+    use_local: bool,
+}
+
+/// Steps every lane's episode in lockstep, returning one
+/// [`EpisodeMetrics`] per lane (in lane order).
+///
+/// Bit-identical to running each lane through
+/// [`simulate_planned_instrumented`] on its own — see the module docs
+/// for why — and falls back to exactly that when the wave has one lane
+/// or the plans are not lockstep-compatible (unequal length or `dt`).
+pub fn simulate_wave<T: WaveStep>(lanes: &mut [WaveLane<'_, T>]) -> Vec<EpisodeMetrics> {
+    let Some(first) = lanes.first() else {
+        return Vec::new();
+    };
+    let len = first.plan.len();
+    let dt = first.plan.cycle().dt();
+    let lockstep = lanes
+        .iter()
+        .all(|l| l.plan.len() == len && l.plan.cycle().dt().to_bits() == dt.to_bits());
+    if lanes.len() == 1 || !lockstep {
+        return lanes
+            .iter_mut()
+            .map(|l| {
+                simulate_planned_instrumented(
+                    l.hev,
+                    l.plan,
+                    l.policy,
+                    &l.reward,
+                    l.faults.as_deref_mut(),
+                    l.telemetry.as_deref_mut(),
+                )
+            })
+            .collect();
+    }
+    let n = lanes.len();
+    let mut metrics: Vec<EpisodeMetrics> = lanes
+        .iter()
+        .map(|l| EpisodeMetrics::new(l.hev.soc()))
+        .collect();
+    // Kinematics per lane (jittered cycles differ lane to lane even at
+    // equal length and dt).
+    let lane_points: Vec<Vec<(f64, f64)>> = lanes
+        .iter()
+        .map(|l| {
+            l.plan
+                .cycle()
+                .points()
+                .map(|p| (p.time_s, p.speed_mps))
+                .collect()
+        })
+        .collect();
+    // Begin, in the sequential loop's order per lane.
+    for lane in lanes.iter_mut() {
+        if let Some(plan) = lane.faults.as_deref_mut() {
+            plan.begin_episode(lane.plan.cycle().duration_s());
+        }
+        if let Some(t) = lane.telemetry.as_deref_mut() {
+            lane.policy.set_record_decisions(true);
+            t.begin_episode();
+            // Windowed counter deltas would aggregate all lanes on this
+            // thread; switch this episode to attributed counts instead.
+            t.attribute_counts();
+        }
+        lane.policy.begin_episode();
+    }
+    let mut shared = CandidateBatch::default();
+    let mut stage: Vec<LaneStage> = (0..n).map(|_| LaneStage::default()).collect();
+    let mut step_counts = vec![Counts::default(); n];
+    #[allow(clippy::needless_range_loop)] // step indexes every lane's points and tables in lockstep
+    for step in 0..len {
+        // Phase A per lane: derate, demand/context, sensor.
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let before = evals::counts();
+            let time_s = lane_points[i][step].0;
+            let mut derate = 1.0;
+            if let Some(plan) = lane.faults.as_deref() {
+                derate = plan.motor_derate_at(time_s);
+                lane.hev.set_motor_derate(derate);
+            }
+            let table = lane.plan.table();
+            let slot = &mut stage[i];
+            // hevlint::allow(float::eq, exact sentinel: motor_derate_at returns literal 1.0 outside the fault window; the value is configuration, not an arithmetic result)
+            slot.use_local = derate != 1.0;
+            if slot.use_local {
+                lane.hev
+                    .rebuild_context(&mut slot.local_ctx, table.demand(step));
+            }
+            let (soc, demand) = match lane.faults.as_deref_mut() {
+                Some(plan) => plan.sensor(time_s, lane.hev.soc(), table.demand(step)),
+                None => (lane.hev.soc(), *table.demand(step)),
+            };
+            slot.observed_soc = soc;
+            slot.observed_demand = demand;
+            step_counts[i] = evals::counts().since(&before);
+        }
+        // Phase B: one fused prefill across all lanes.
+        {
+            let mut policies: Vec<&mut T> = Vec::with_capacity(n);
+            let mut hevs: Vec<&ParallelHev> = Vec::with_capacity(n);
+            let mut obses: Vec<Observation<'_>> = Vec::with_capacity(n);
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let plan: &CyclePlan = lane.plan;
+                let slot = &stage[i];
+                let ctx = if slot.use_local {
+                    &slot.local_ctx
+                } else {
+                    plan.table().context(step)
+                };
+                obses.push(Observation {
+                    step,
+                    time_s: lane_points[i][step].0,
+                    demand: &slot.observed_demand,
+                    soc: slot.observed_soc,
+                    ctx,
+                });
+                policies.push(&mut *lane.policy);
+                hevs.push(&*lane.hev);
+            }
+            let mut prefill = vec![Counts::default(); n];
+            T::prefill_wave(&mut policies, &hevs, &obses, &mut shared, &mut prefill);
+            drop(policies);
+            drop(hevs);
+            // Phase C per lane: the sequential decide/step/feedback tail.
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                step_counts[i].add(&prefill[i]);
+                let before = evals::counts();
+                let env = StepEnv {
+                    true_demand: lane.plan.table().demand(step),
+                    point_speed_mps: lane_points[i][step].1,
+                    dt,
+                };
+                let mut io = StepIo {
+                    faults: lane.faults.as_deref(),
+                    reward: &lane.reward,
+                    metrics: &mut metrics[i],
+                    telemetry: lane.telemetry.as_deref_mut(),
+                };
+                decided_step(lane.hev, lane.policy, &obses[i], &env, &mut io);
+                step_counts[i].add(&evals::counts().since(&before));
+                if let Some(t) = lane.telemetry.as_deref_mut() {
+                    t.note_counts(&step_counts[i]);
+                }
+            }
+        }
+    }
+    // End, in the sequential loop's order per lane.
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        if lane.faults.is_some() {
+            lane.hev.set_motor_derate(1.0);
+        }
+        lane.policy.end_episode();
+        metrics[i].degradation = lane.policy.degradation();
+        if let Some(t) = lane.telemetry.as_deref_mut() {
+            t.end_episode(&metrics[i], &lane.reward, lane.policy.telemetry_snapshot());
+            lane.policy.set_record_decisions(false);
+        }
+    }
+    metrics
+}
+
+/// One training lane for [`train_portfolio_wave`]: an agent, its
+/// vehicle, its per-lane cycle plans (one per portfolio cycle, in
+/// portfolio order), and an optional telemetry collector.
+pub struct WaveTrainLane<'a, P: Predictor = Ewma> {
+    /// The lane's learning agent.
+    pub agent: &'a mut JointController<P>,
+    /// The lane's vehicle.
+    pub hev: &'a mut ParallelHev,
+    /// The lane's training portfolio, one precomputed plan per cycle.
+    pub plans: &'a [CyclePlan],
+    /// Optional per-lane telemetry collector.
+    pub telemetry: Option<&'a mut EpisodeTelemetry>,
+}
+
+/// Trains every lane's agent for `rounds` passes over its portfolio,
+/// stepping all lanes' episodes in lockstep waves. Returns each lane's
+/// per-episode metrics in training order, exactly as
+/// `JointController::train_portfolio` would have produced them.
+///
+/// Every lane must carry the same number of plans (portfolio position
+/// `c` of every lane trains in the same wave); mismatched lanes train
+/// only over the shortest portfolio.
+pub fn train_portfolio_wave<P: Predictor>(
+    lanes: &mut [WaveTrainLane<'_, P>],
+    rounds: usize,
+) -> Vec<Vec<EpisodeMetrics>> {
+    let cycles_per = lanes.iter().map(|l| l.plans.len()).min().unwrap_or(0);
+    let mut out: Vec<Vec<EpisodeMetrics>> = lanes
+        .iter()
+        .map(|_| Vec::with_capacity(rounds * cycles_per))
+        .collect();
+    for _ in 0..rounds {
+        for c in 0..cycles_per {
+            let mut wave: Vec<WaveLane<'_, JointController<P>>> = lanes
+                .iter_mut()
+                .map(|l| {
+                    l.agent.set_training(true);
+                    l.hev.reset_soc(l.agent.config().initial_soc);
+                    let reward = l.agent.config().reward;
+                    if let Some(t) = l.telemetry.as_deref_mut() {
+                        t.set_kind("train");
+                    }
+                    WaveLane {
+                        policy: &mut *l.agent,
+                        hev: &mut *l.hev,
+                        plan: &l.plans[c],
+                        reward,
+                        faults: None,
+                        telemetry: l.telemetry.as_deref_mut(),
+                    }
+                })
+                .collect();
+            let episode = simulate_wave(&mut wave);
+            drop(wave);
+            for (i, m) in episode.into_iter().enumerate() {
+                out[i].push(m);
+            }
+        }
+    }
+    out
+}

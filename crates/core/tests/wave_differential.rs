@@ -1,0 +1,248 @@
+//! Differential suite: lockstep episode waves versus the sequential
+//! planned path.
+//!
+//! The wave driver promises bit-identity — same Q-tables, same episode
+//! metrics, same telemetry, same evaluation counts — at every wave
+//! width, for learning agents and for supervised fallback chains under
+//! fault injection. Every comparison here is zero-tolerance
+//! (`f64::to_bits`, byte-equal JSON, `==` on integer counters).
+
+use drive_cycle::{DriveCycle, ProfileBuilder};
+use hev_control::{
+    simulate_planned_instrumented, simulate_wave, split_seed, train_portfolio_wave, CyclePlan,
+    EpisodeMetrics, EpisodeTelemetry, FaultConfig, FaultPlan, JointController,
+    JointControllerConfig, RewardConfig, SupervisedPolicy, TelemetryConfig, WaveLane,
+    WaveTrainLane,
+};
+use hev_model::{HevParams, ParallelHev};
+use proptest::prelude::*;
+
+/// A short mixed-demand cycle: idle, a brisk trip, a gentler trip.
+fn tiny_cycle() -> DriveCycle {
+    ProfileBuilder::new("wave-diff")
+        .idle(2.0)
+        .trip(30.0, 8.0, 15.0, 6.0, 3.0)
+        .trip(20.0, 6.0, 8.0, 5.0, 3.0)
+        .build()
+        .expect("valid test cycle")
+}
+
+fn fresh_hev() -> ParallelHev {
+    ParallelHev::new(HevParams::default_parallel_hev(), 0.6).expect("default parameters are valid")
+}
+
+/// Lane `k`'s agent: lane 0 keeps the base seed, later lanes split
+/// their own streams — the same convention the bench workload uses.
+fn lane_agent(lane: usize) -> JointController {
+    let mut cfg = JointControllerConfig::proposed();
+    cfg.seed = if lane == 0 {
+        4242
+    } else {
+        split_seed(4242, lane as u64)
+    };
+    JointController::new(cfg)
+}
+
+fn assert_metrics_bits_equal(a: &EpisodeMetrics, b: &EpisodeMetrics, what: &str) {
+    assert_eq!(a.steps, b.steps, "{what}: steps");
+    assert_eq!(a.fuel_g.to_bits(), b.fuel_g.to_bits(), "{what}: fuel_g");
+    assert_eq!(
+        a.total_reward.to_bits(),
+        b.total_reward.to_bits(),
+        "{what}: total_reward"
+    );
+    assert_eq!(
+        a.soc_final.to_bits(),
+        b.soc_final.to_bits(),
+        "{what}: soc_final"
+    );
+    assert_eq!(a.degradation, b.degradation, "{what}: degradation");
+}
+
+/// Tentpole invariant: at wave widths 1 (the sequential fallback), 2, 7
+/// (wider than the candidate grid), and 32 (wider than the fused
+/// kernel's lane budget), training in lockstep produces byte-identical
+/// controller snapshots, bit-identical episode and evaluation metrics,
+/// and exactly the sequential evaluation count.
+#[test]
+fn wave_training_is_bit_identical_at_every_width() {
+    let cycle = tiny_cycle();
+    let rounds = 3;
+    for width in [1usize, 2, 7, 32] {
+        // Sequential reference: each lane trains alone on its own plan.
+        let mut seq: Vec<(Vec<EpisodeMetrics>, EpisodeMetrics, String)> = Vec::new();
+        let mut seq_evals = 0u64;
+        for lane in 0..width {
+            let mut agent = lane_agent(lane);
+            let mut hev = fresh_hev();
+            let plans = vec![CyclePlan::new(&hev, &cycle)];
+            let before = hev_trace::evals::count();
+            let train = agent.train_portfolio_planned(&mut hev, &plans, rounds);
+            seq_evals += hev_trace::evals::count() - before;
+            let eval = agent.evaluate_planned(&mut hev, &plans[0]);
+            let snapshot = serde_json::to_string(&agent.snapshot()).expect("snapshot serializes");
+            seq.push((train, eval, snapshot));
+        }
+
+        // Wave run: the same lanes share one plan build and step in
+        // lockstep.
+        let wave_evals_before = hev_trace::evals::count();
+        let plans = vec![CyclePlan::new(&fresh_hev(), &cycle)];
+        let mut agents: Vec<JointController> = (0..width).map(lane_agent).collect();
+        let mut hevs: Vec<ParallelHev> = (0..width).map(|_| fresh_hev()).collect();
+        let mut lanes: Vec<WaveTrainLane<'_>> = agents
+            .iter_mut()
+            .zip(hevs.iter_mut())
+            .map(|(agent, hev)| WaveTrainLane {
+                agent,
+                hev,
+                plans: &plans,
+                telemetry: None,
+            })
+            .collect();
+        let wave_train = train_portfolio_wave(&mut lanes, rounds);
+        drop(lanes);
+        let wave_evals = hev_trace::evals::count() - wave_evals_before;
+
+        assert_eq!(
+            seq_evals, wave_evals,
+            "width {width}: fused waves must do exactly the sequential work"
+        );
+        for (lane, ((seq_train, seq_eval, seq_snapshot), (agent, hev))) in seq
+            .iter()
+            .zip(agents.iter_mut().zip(hevs.iter_mut()))
+            .enumerate()
+        {
+            let what = format!("width {width}, lane {lane}");
+            assert_eq!(seq_train.len(), wave_train[lane].len(), "{what}: episodes");
+            for (e, (a, b)) in seq_train.iter().zip(&wave_train[lane]).enumerate() {
+                assert_metrics_bits_equal(a, b, &format!("{what}, episode {e}"));
+            }
+            let wave_eval = agent.evaluate_planned(hev, &plans[0]);
+            assert_metrics_bits_equal(seq_eval, &wave_eval, &format!("{what}, evaluation"));
+            let wave_snapshot =
+                serde_json::to_string(&agent.snapshot()).expect("snapshot serializes");
+            assert_eq!(seq_snapshot, &wave_snapshot, "{what}: snapshot JSON");
+        }
+    }
+}
+
+/// Per-lane telemetry — episode metrics lines, trace events, and the
+/// attributed evaluation counters — is line-for-line identical between
+/// a lockstep wave and the sequential planned path.
+#[test]
+fn wave_telemetry_lines_match_sequential() {
+    let cycle = tiny_cycle();
+    let rounds = 2;
+    let width = 7usize;
+
+    let mut seq_runs: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for lane in 0..width {
+        let mut agent = lane_agent(lane);
+        let mut hev = fresh_hev();
+        let plans = vec![CyclePlan::new(&hev, &cycle)];
+        let mut telemetry =
+            EpisodeTelemetry::new(format!("lane{lane}"), TelemetryConfig::enabled());
+        agent.train_portfolio_planned_instrumented(&mut hev, &plans, rounds, Some(&mut telemetry));
+        let run = telemetry.into_run();
+        seq_runs.push((run.metrics_lines, run.trace_lines));
+    }
+
+    let plans = vec![CyclePlan::new(&fresh_hev(), &cycle)];
+    let mut agents: Vec<JointController> = (0..width).map(lane_agent).collect();
+    let mut hevs: Vec<ParallelHev> = (0..width).map(|_| fresh_hev()).collect();
+    let mut collectors: Vec<EpisodeTelemetry> = (0..width)
+        .map(|lane| EpisodeTelemetry::new(format!("lane{lane}"), TelemetryConfig::enabled()))
+        .collect();
+    let mut lanes: Vec<WaveTrainLane<'_>> = agents
+        .iter_mut()
+        .zip(hevs.iter_mut())
+        .zip(collectors.iter_mut())
+        .map(|((agent, hev), telemetry)| WaveTrainLane {
+            agent,
+            hev,
+            plans: &plans,
+            telemetry: Some(telemetry),
+        })
+        .collect();
+    train_portfolio_wave(&mut lanes, rounds);
+    drop(lanes);
+
+    for (lane, (collector, (seq_metrics, seq_trace))) in
+        collectors.into_iter().zip(seq_runs).enumerate()
+    {
+        let run = collector.into_run();
+        assert_eq!(seq_metrics, run.metrics_lines, "lane {lane}: metrics lines");
+        assert_eq!(seq_trace, run.trace_lines, "lane {lane}: trace lines");
+    }
+}
+
+/// A supervised lane under a random fault plan degrades identically in
+/// a wave and alone: same `DegradationReport`, same episode metrics,
+/// bit for bit. Three lanes carry three different plans split from the
+/// drawn seed, so the wave mixes derated and healthy lanes in the same
+/// timestep.
+fn supervised_wave_matches_sequential(severity: f64, seed: u64) {
+    let cycle = tiny_cycle();
+    let reward = RewardConfig::default();
+    let width = 3usize;
+    let config = FaultConfig::at_severity(severity);
+
+    let run = |wave: bool| -> Vec<EpisodeMetrics> {
+        let plans: Vec<CyclePlan> = (0..width)
+            .map(|_| CyclePlan::new(&fresh_hev(), &cycle))
+            .collect();
+        let mut policies: Vec<SupervisedPolicy<JointController>> = (0..width)
+            .map(|lane| SupervisedPolicy::new(lane_agent(lane)))
+            .collect();
+        let mut hevs: Vec<ParallelHev> = (0..width).map(|_| fresh_hev()).collect();
+        let mut faults: Vec<FaultPlan> = (0..width)
+            .map(|lane| FaultPlan::new(config, split_seed(seed, lane as u64)))
+            .collect();
+        if wave {
+            let mut lanes: Vec<WaveLane<'_, SupervisedPolicy<JointController>>> = policies
+                .iter_mut()
+                .zip(hevs.iter_mut())
+                .zip(plans.iter().zip(faults.iter_mut()))
+                .map(|((policy, hev), (plan, faults))| WaveLane {
+                    policy,
+                    hev,
+                    plan,
+                    reward,
+                    faults: Some(faults),
+                    telemetry: None,
+                })
+                .collect();
+            simulate_wave(&mut lanes)
+        } else {
+            policies
+                .iter_mut()
+                .zip(hevs.iter_mut())
+                .zip(plans.iter().zip(faults.iter_mut()))
+                .map(|((policy, hev), (plan, faults))| {
+                    simulate_planned_instrumented(hev, plan, policy, &reward, Some(faults), None)
+                })
+                .collect()
+        }
+    };
+
+    let sequential = run(false);
+    let waved = run(true);
+    for (lane, (a, b)) in sequential.iter().zip(&waved).enumerate() {
+        assert_metrics_bits_equal(a, b, &format!("severity {severity}, lane {lane}"));
+        assert!(
+            a.degradation.is_some(),
+            "supervised lanes must carry a degradation report"
+        );
+    }
+}
+
+proptest! {
+    /// Random fault severities and seeds: the wave's fault-injection,
+    /// derating, and supervised-fallback accounting reproduce the
+    /// sequential path exactly.
+    #[test]
+    fn wave_preserves_degradation_reports(severity in 0.0f64..1.0, seed in 0u64..(1u64 << 48)) {
+        supervised_wave_matches_sequential(severity, seed);
+    }
+}

@@ -78,36 +78,92 @@ use crate::vehicle::{
 /// only on the battery and the commanded current, so one cache may span
 /// several demands evaluated against the same vehicle state.
 ///
-/// Lookup is a linear scan over raw `f64` bits (so NaN currents cache
-/// too, and `-0.0` never aliases `+0.0` — the same bit-equality rule the
-/// kernel's consecutive-lane reuse applies). Sweeps probe a handful of
-/// distinct currents, where a scan beats hashing.
-#[derive(Debug, Clone, Default)]
+/// Lookup is **direct-mapped** over raw `f64` bits (so NaN currents
+/// cache too, and `-0.0` never aliases `+0.0` — the same bit-equality
+/// rule the kernel's consecutive-lane reuse applies): the key's
+/// Fibonacci hash picks one of [`CACHE_SLOTS`] fixed slots, a hit is a
+/// single compare, and a conflicting current simply evicts the slot. An
+/// eviction is bit-safe — the context is a pure function of its inputs,
+/// so recomputing it later yields the very same bits — it only costs
+/// one rebuild. [`clear`](CurrentContextCache::clear) is O(1): slots
+/// carry a generation stamp and clearing bumps the generation.
+///
+/// Cache efficacy is observable: every lookup records a hit or a miss
+/// in the thread-local [`hev_trace::evals`] counters
+/// (`ctx_cache_hits` / `ctx_cache_misses`), which the telemetry layer
+/// exports through its metrics registry.
+#[derive(Debug, Clone)]
 pub struct CurrentContextCache {
-    /// Step length the cached contexts were built for (raw bits); only
-    /// meaningful while `entries` is non-empty.
+    /// Current generation; a slot is live only while its stamp matches.
+    generation: u64,
+    /// Lazily allocated to [`CACHE_SLOTS`] entries on first insert.
+    slots: Vec<CacheSlot>,
+}
+
+/// Fixed slot count of the direct-mapped cache: sweeps probe at most a
+/// few dozen distinct currents (the action grid plus ternary-refinement
+/// probes), so 64 slots keep conflict evictions rare.
+pub const CACHE_SLOTS: usize = 64;
+
+/// Fibonacci-hash multiplier (2^64 / φ), spreading raw current bits
+/// uniformly over the slot index's top bits.
+const FIB_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    /// Generation the slot was filled in; live iff equal to the cache's.
+    stamp: u64,
+    /// Raw bits of the commanded current.
+    key: u64,
+    /// Raw bits of the step length the context was built for.
     dt_bits: u64,
-    entries: Vec<(u64, CurrentContext)>,
+    ctx: CurrentContext,
+}
+
+impl Default for CurrentContextCache {
+    fn default() -> Self {
+        Self {
+            // Slots start stamped 0, so the first live generation is 1.
+            generation: 1,
+            slots: Vec::new(),
+        }
+    }
 }
 
 impl CurrentContextCache {
-    /// An empty cache (entries grow on first use and are reused).
+    /// An empty cache (slots allocate on first use and are reused).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Invalidates every cached context. Call when the battery state or
-    /// the step length changes.
+    /// Invalidates every cached context in O(1) by advancing the
+    /// generation. Call when the battery state or the step length
+    /// changes.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // 2^64 clears later the stamp space recycles; drop the slots
+            // so no stale stamp can match the reused generation.
+            self.slots.clear();
+            self.generation = 1;
+        }
+    }
+
+    /// The slot index of a raw-bits key.
+    #[inline]
+    fn slot_of(key: u64) -> usize {
+        debug_assert!(CACHE_SLOTS.is_power_of_two());
+        // The shift keeps log2(CACHE_SLOTS) bits, so the cast is bounded.
+        (key.wrapping_mul(FIB_HASH) >> (64 - CACHE_SLOTS.trailing_zeros())) as usize
     }
 
     /// The context for `battery_current_a` at `dt`, built through `hev`
-    /// on first request and replayed from the cache afterwards.
+    /// on a miss (or a conflict eviction) and replayed from its slot on
+    /// a hit.
     ///
     /// `hev`'s battery state and `dt` must match every earlier call
     /// since the last [`clear`](CurrentContextCache::clear); the `dt`
-    /// half is debug-asserted.
+    /// half is debug-asserted on hits.
     #[inline]
     pub fn get_or_insert(
         &mut self,
@@ -115,19 +171,35 @@ impl CurrentContextCache {
         battery_current_a: f64,
         dt: f64,
     ) -> &CurrentContext {
-        debug_assert!(
-            self.entries.is_empty() || self.dt_bits == dt.to_bits(),
-            "CurrentContextCache reused across dt values without clear()"
-        );
         let key = battery_current_a.to_bits();
-        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
-            return &self.entries[pos].1;
+        let idx = Self::slot_of(key);
+        let hit = self
+            .slots
+            .get(idx)
+            .is_some_and(|s| s.stamp == self.generation && s.key == key);
+        if hit {
+            debug_assert_eq!(
+                self.slots[idx].dt_bits,
+                dt.to_bits(),
+                "CurrentContextCache reused across dt values without clear()"
+            );
+            crate::instrument::record_ctx_cache_hit();
+            return &self.slots[idx].ctx;
         }
-        self.dt_bits = dt.to_bits();
-        let idx = self.entries.len();
-        self.entries
-            .push((key, hev.current_context(battery_current_a, dt)));
-        &self.entries[idx].1
+        crate::instrument::record_ctx_cache_miss();
+        let slot = CacheSlot {
+            stamp: self.generation,
+            key,
+            dt_bits: dt.to_bits(),
+            ctx: hev.current_context(battery_current_a, dt),
+        };
+        if self.slots.is_empty() {
+            // First insert: allocate every slot dead (stamp 0 never
+            // matches a live generation).
+            self.slots = vec![CacheSlot { stamp: 0, ..slot }; CACHE_SLOTS];
+        }
+        self.slots[idx] = slot;
+        &self.slots[idx].ctx
     }
 }
 
@@ -204,6 +276,21 @@ impl CandidateBatch {
         self.friction.clear();
         self.soc_before.clear();
         self.soc_after.clear();
+    }
+
+    /// Prepares the verdict and score arrays for an index-addressed
+    /// scored evaluation over the current lanes: every other output
+    /// array is cleared, and `err`/`score` are sized to
+    /// [`len`](CandidateBatch::len) with the infeasible-lane fillers
+    /// (`None` / `0.0`).
+    ///
+    /// [`ParallelHev::evaluate_batch_scored`] calls this itself; fused
+    /// multi-sweep callers call it once before scoring disjoint lane
+    /// ranges with [`ParallelHev::evaluate_scored_range`].
+    pub fn reset_scores(&mut self) {
+        self.clear_outputs();
+        self.err.resize(self.currents.len(), None);
+        self.score.resize(self.currents.len(), 0.0);
     }
 
     /// Appends a candidate lane with tag 0.
@@ -539,13 +626,42 @@ impl ParallelHev {
     ) where
         F: Fn(&StepOutcome) -> f64,
     {
-        batch.clear_outputs();
+        batch.reset_scores();
         let n = batch.len();
         if n == 0 {
             return;
         }
         crate::instrument::record_batch(n as u64);
-        for lane in 0..n {
+        self.evaluate_scored_range(ctx, batch, 0..n, cache, score);
+    }
+
+    /// Scores one contiguous lane range of a prepared batch — the
+    /// building block fused multi-episode sweeps use to share a single
+    /// [`CandidateBatch`] across several independent vehicles.
+    ///
+    /// Each lane in `range` runs the exact per-lane body of
+    /// [`ParallelHev::evaluate_batch_scored`] against *this* vehicle,
+    /// `ctx`, and `cache`, writing its verdict and score at the lane's
+    /// global index, so a caller that assigns disjoint ranges to
+    /// different `(vehicle, context, cache)` triples gets per-range
+    /// results bit-identical to separate per-vehicle scored batches.
+    ///
+    /// The caller owns the bookkeeping this kernel skips: call
+    /// [`CandidateBatch::reset_scores`] once after pushing every range,
+    /// and record the batch's lane evaluations once
+    /// ([`hev_trace::evals::record_batch`] with the *total* lane count)
+    /// — this method records nothing itself.
+    pub fn evaluate_scored_range<F>(
+        &self,
+        ctx: &StepContext,
+        batch: &mut CandidateBatch,
+        range: std::ops::Range<usize>,
+        cache: &mut CurrentContextCache,
+        score: F,
+    ) where
+        F: Fn(&StepOutcome) -> f64,
+    {
+        for lane in range {
             let battery_current_a = batch.currents[lane];
             let cur = cache.get_or_insert(self, battery_current_a, batch.dt);
             let control = ControlInput {
@@ -555,12 +671,12 @@ impl ParallelHev {
             };
             match self.complete_control(ctx, cur, &control) {
                 Ok(o) => {
-                    batch.err.push(None);
-                    batch.score.push(score(&o));
+                    batch.err[lane] = None;
+                    batch.score[lane] = score(&o);
                 }
                 Err(e) => {
-                    batch.err.push(Some(e));
-                    batch.score.push(0.0);
+                    batch.err[lane] = Some(e);
+                    batch.score[lane] = 0.0;
                 }
             }
         }
@@ -733,6 +849,91 @@ mod tests {
         hev.evaluate_batch(&ctx, &mut batch);
         assert_eq!(batch.len(), 0);
         assert_eq!(hev_trace::evals::since(snap), 0);
+    }
+
+    #[test]
+    fn direct_mapped_cache_counts_hits_and_misses() {
+        let hev = hev();
+        let mut cache = CurrentContextCache::new();
+        let (h0, m0) = (
+            hev_trace::evals::ctx_cache_hits(),
+            hev_trace::evals::ctx_cache_misses(),
+        );
+        cache.get_or_insert(&hev, 10.0, 1.0);
+        cache.get_or_insert(&hev, 10.0, 1.0);
+        cache.get_or_insert(&hev, 10.0, 1.0);
+        cache.get_or_insert(&hev, -25.0, 1.0);
+        assert_eq!(hev_trace::evals::ctx_cache_hits().wrapping_sub(h0), 2);
+        assert_eq!(hev_trace::evals::ctx_cache_misses().wrapping_sub(m0), 2);
+        // clear() invalidates in O(1): the next lookup misses again.
+        cache.clear();
+        let m1 = hev_trace::evals::ctx_cache_misses();
+        cache.get_or_insert(&hev, 10.0, 1.0);
+        assert_eq!(hev_trace::evals::ctx_cache_misses().wrapping_sub(m1), 1);
+        // Cache bookkeeping never counts as a peek-equivalent eval.
+        let snap = hev_trace::evals::count();
+        cache.get_or_insert(&hev, 10.0, 1.0);
+        assert_eq!(hev_trace::evals::since(snap), 0);
+    }
+
+    #[test]
+    fn conflict_eviction_replays_the_same_bits() {
+        let hev = hev();
+        // Find two distinct currents that collide in the direct map.
+        let base = 10.0_f64;
+        let slot = CurrentContextCache::slot_of(base.to_bits());
+        let other = (1..100_000)
+            .map(|k| 10.0 + k as f64 * 0.001)
+            .find(|i| CurrentContextCache::slot_of(i.to_bits()) == slot && *i != base)
+            .expect("a colliding current exists");
+        let mut cache = CurrentContextCache::new();
+        let first = *cache.get_or_insert(&hev, base, 1.0);
+        // Evict, then re-fetch: the pure function must reproduce the
+        // evicted context bit for bit.
+        cache.get_or_insert(&hev, other, 1.0);
+        let refetched = *cache.get_or_insert(&hev, base, 1.0);
+        assert_eq!(
+            first.battery_current_a().to_bits(),
+            refetched.battery_current_a().to_bits()
+        );
+        assert_eq!(first.is_feasible(), refetched.is_feasible());
+    }
+
+    #[test]
+    fn scored_range_matches_the_scored_kernel_bit_for_bit() {
+        let hev = hev();
+        let d = hev.demand(15.0, 0.3, 0.0);
+        let ctx = hev.step_context(&d);
+        let mut whole = CandidateBatch::default();
+        let mut ranged = CandidateBatch::default();
+        for b in [&mut whole, &mut ranged] {
+            b.begin(1.0);
+            for gear in 0..5 {
+                for &i in &[-25.0, 0.0, 10.0, 100.0] {
+                    b.push(i, gear, 600.0);
+                }
+            }
+        }
+        let mut cache = CurrentContextCache::new();
+        hev.evaluate_batch_scored(&ctx, &mut whole, &mut cache, |o| -o.fuel_g);
+        cache.clear();
+        // The fused protocol: prepare once, score disjoint ranges, count
+        // the total once.
+        ranged.reset_scores();
+        let snap = hev_trace::evals::count();
+        hev_trace::evals::record_batch(ranged.len() as u64);
+        let mid = ranged.len() / 2;
+        hev.evaluate_scored_range(&ctx, &mut ranged, 0..mid, &mut cache, |o| -o.fuel_g);
+        hev.evaluate_scored_range(&ctx, &mut ranged, mid..20, &mut cache, |o| -o.fuel_g);
+        assert_eq!(hev_trace::evals::since(snap), 20);
+        for lane in 0..whole.len() {
+            assert_eq!(whole.error(lane), ranged.error(lane), "lane {lane}");
+            assert_eq!(
+                whole.score(lane).map(f64::to_bits),
+                ranged.score(lane).map(f64::to_bits),
+                "lane {lane}"
+            );
+        }
     }
 
     #[test]

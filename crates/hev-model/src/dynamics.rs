@@ -9,7 +9,9 @@ use crate::params::{BodyParams, AIR_DENSITY, GRAVITY};
 use serde::{Deserialize, Serialize};
 
 /// Demand at the wheels for one simulation step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The `Default` value is the all-zero demand: stationary on flat road.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct WheelDemand {
     /// Vehicle speed, m/s.
     pub speed_mps: f64,

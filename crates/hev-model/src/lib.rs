@@ -44,6 +44,7 @@ pub mod ice;
 mod instrument;
 pub mod motor;
 pub mod params;
+pub mod plan;
 pub mod vehicle;
 
 pub use aux::AuxiliarySystems;
@@ -59,6 +60,7 @@ pub use params::{
     IceParams, MotorParams, AIR_DENSITY, FUEL_G_PER_GALLON, FUEL_LHV_J_PER_G, GRAVITY,
     RPM_TO_RAD_S,
 };
+pub use plan::ContextTable;
 pub use vehicle::{
     ControlInput, CurrentContext, OperatingMode, ParallelHev, StepContext, StepOutcome,
     ICE_ON_MIN_NM, STOP_SPEED_MPS,

@@ -482,7 +482,20 @@ impl ParallelHev {
 
     /// Rebuilds `ctx` in place for a new demand, reusing its gear-table
     /// allocation (the per-step path of a simulation loop).
+    ///
+    /// Each call records one `ctx_rebuilds` tick in the
+    /// [`hev_trace::evals`] counters — the quantity the cycle-level
+    /// [`ContextTable`](crate::plan::ContextTable) amortizes to one per
+    /// (cycle, vehicle-config) pair.
     pub fn rebuild_context(&self, ctx: &mut StepContext, demand: &WheelDemand) {
+        crate::instrument::record_ctx_rebuild();
+        self.rebuild_context_untracked(ctx, demand);
+    }
+
+    /// The untracked body of [`ParallelHev::rebuild_context`]: used by
+    /// the cycle-level table builder, which amortizes a whole cycle's
+    /// worth of rebuilds into a single recorded tick.
+    pub(crate) fn rebuild_context_untracked(&self, ctx: &mut StepContext, demand: &WheelDemand) {
         ctx.demand = *demand;
         ctx.gears.clear();
         ctx.kind = if demand.speed_mps < STOP_SPEED_MPS {

@@ -20,6 +20,9 @@ thread_local! {
     static EVALS: Cell<u64> = const { Cell::new(0) };
     static BATCH_LANES: Cell<u64> = const { Cell::new(0) };
     static BATCH_CALLS: Cell<u64> = const { Cell::new(0) };
+    static CTX_REBUILDS: Cell<u64> = const { Cell::new(0) };
+    static CTX_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    static CTX_CACHE_MISSES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Records one peek-equivalent evaluation.
@@ -43,6 +46,41 @@ pub fn record_batch(lanes: u64) {
     BATCH_CALLS.with(|c| c.set(c.get().wrapping_add(1)));
 }
 
+/// Records one `StepContext` rebuild — a full demand-to-gear precompute
+/// of one timestep's battery-independent context. The cycle-level context table amortizes these: a steady-
+/// state training run should record at most one rebuild per (cycle,
+/// vehicle-config) pair, and the benchmark JSON pins that number.
+pub fn record_ctx_rebuild() {
+    CTX_REBUILDS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Context rebuilds recorded on this thread since the last [`reset`].
+pub fn ctx_rebuilds() -> u64 {
+    CTX_REBUILDS.with(Cell::get)
+}
+
+/// Records one hit in the per-step battery-context cache (the keyed
+/// `CurrentContext` lookup succeeded without recomputation).
+pub fn record_ctx_cache_hit() {
+    CTX_CACHE_HITS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Records one miss in the per-step battery-context cache (the keyed
+/// `CurrentContext` had to be computed and inserted).
+pub fn record_ctx_cache_miss() {
+    CTX_CACHE_MISSES.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Battery-context cache hits on this thread since the last [`reset`].
+pub fn ctx_cache_hits() -> u64 {
+    CTX_CACHE_HITS.with(Cell::get)
+}
+
+/// Battery-context cache misses on this thread since the last [`reset`].
+pub fn ctx_cache_misses() -> u64 {
+    CTX_CACHE_MISSES.with(Cell::get)
+}
+
 /// Evaluations recorded through the batched kernel on this thread since
 /// the last [`reset`] (a subset of [`count`]).
 pub fn batch_lanes() -> u64 {
@@ -62,17 +100,79 @@ pub fn count() -> u64 {
     EVALS.with(Cell::get)
 }
 
-/// Resets this thread's counters (total, batch lanes, batch calls) to
-/// zero.
+/// Resets this thread's counters (total, batch lanes, batch calls,
+/// context rebuilds, context-cache hits/misses) to zero.
 pub fn reset() {
     EVALS.with(|c| c.set(0));
     BATCH_LANES.with(|c| c.set(0));
     BATCH_CALLS.with(|c| c.set(0));
+    CTX_REBUILDS.with(|c| c.set(0));
+    CTX_CACHE_HITS.with(|c| c.set(0));
+    CTX_CACHE_MISSES.with(|c| c.set(0));
 }
 
 /// Evaluations since an earlier [`count`] snapshot (wrapping-safe).
 pub fn since(snapshot: u64) -> u64 {
     count().wrapping_sub(snapshot)
+}
+
+/// One snapshot of every per-thread counter, taken with [`counts`].
+///
+/// Windowed consumers (per-episode telemetry, the lockstep episode wave's
+/// per-lane attribution) difference two snapshots with [`Counts::since`]
+/// and accumulate attributed deltas with [`Counts::add`]; both are
+/// wrapping, like the underlying counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Peek-equivalent evaluations ([`count`]).
+    pub evals: u64,
+    /// Evaluations recorded through the batched kernel ([`batch_lanes`]).
+    pub batch_lanes: u64,
+    /// Batched-kernel invocations ([`batch_calls`]).
+    pub batch_calls: u64,
+    /// Step-context rebuilds ([`ctx_rebuilds`]).
+    pub ctx_rebuilds: u64,
+    /// Battery-context cache hits ([`ctx_cache_hits`]).
+    pub ctx_cache_hits: u64,
+    /// Battery-context cache misses ([`ctx_cache_misses`]).
+    pub ctx_cache_misses: u64,
+}
+
+impl Counts {
+    /// The deltas accumulated since an `earlier` snapshot
+    /// (field-wise wrapping subtraction).
+    pub fn since(&self, earlier: &Counts) -> Counts {
+        Counts {
+            evals: self.evals.wrapping_sub(earlier.evals),
+            batch_lanes: self.batch_lanes.wrapping_sub(earlier.batch_lanes),
+            batch_calls: self.batch_calls.wrapping_sub(earlier.batch_calls),
+            ctx_rebuilds: self.ctx_rebuilds.wrapping_sub(earlier.ctx_rebuilds),
+            ctx_cache_hits: self.ctx_cache_hits.wrapping_sub(earlier.ctx_cache_hits),
+            ctx_cache_misses: self.ctx_cache_misses.wrapping_sub(earlier.ctx_cache_misses),
+        }
+    }
+
+    /// Accumulates `delta` into this tally (field-wise wrapping addition).
+    pub fn add(&mut self, delta: &Counts) {
+        self.evals = self.evals.wrapping_add(delta.evals);
+        self.batch_lanes = self.batch_lanes.wrapping_add(delta.batch_lanes);
+        self.batch_calls = self.batch_calls.wrapping_add(delta.batch_calls);
+        self.ctx_rebuilds = self.ctx_rebuilds.wrapping_add(delta.ctx_rebuilds);
+        self.ctx_cache_hits = self.ctx_cache_hits.wrapping_add(delta.ctx_cache_hits);
+        self.ctx_cache_misses = self.ctx_cache_misses.wrapping_add(delta.ctx_cache_misses);
+    }
+}
+
+/// Snapshots every counter on this thread at once.
+pub fn counts() -> Counts {
+    Counts {
+        evals: count(),
+        batch_lanes: batch_lanes(),
+        batch_calls: batch_calls(),
+        ctx_rebuilds: ctx_rebuilds(),
+        ctx_cache_hits: ctx_cache_hits(),
+        ctx_cache_misses: ctx_cache_misses(),
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +191,50 @@ mod tests {
         assert_eq!(since(snap), 1);
         reset();
         assert_eq!(count(), 0);
+    }
+
+    #[test]
+    fn context_counters_accumulate_and_reset() {
+        reset();
+        record_ctx_rebuild();
+        record_ctx_rebuild();
+        record_ctx_cache_hit();
+        record_ctx_cache_miss();
+        record_ctx_cache_miss();
+        record_ctx_cache_miss();
+        assert_eq!(ctx_rebuilds(), 2);
+        assert_eq!(ctx_cache_hits(), 1);
+        assert_eq!(ctx_cache_misses(), 3);
+        // Context bookkeeping never counts as a peek-equivalent eval.
+        assert_eq!(count(), 0);
+        reset();
+        assert_eq!(ctx_rebuilds(), 0);
+        assert_eq!(ctx_cache_hits(), 0);
+        assert_eq!(ctx_cache_misses(), 0);
+    }
+
+    #[test]
+    fn counts_snapshot_differences_every_counter() {
+        reset();
+        let start = counts();
+        record();
+        record_batch(4);
+        record_ctx_rebuild();
+        record_ctx_cache_hit();
+        record_ctx_cache_miss();
+        let delta = counts().since(&start);
+        assert_eq!(delta.evals, 5);
+        assert_eq!(delta.batch_lanes, 4);
+        assert_eq!(delta.batch_calls, 1);
+        assert_eq!(delta.ctx_rebuilds, 1);
+        assert_eq!(delta.ctx_cache_hits, 1);
+        assert_eq!(delta.ctx_cache_misses, 1);
+        let mut tally = Counts::default();
+        tally.add(&delta);
+        tally.add(&delta);
+        assert_eq!(tally.evals, 10);
+        assert_eq!(tally.ctx_cache_misses, 2);
+        reset();
     }
 
     #[test]
