@@ -21,7 +21,8 @@
 //!   ablation-weight         auxiliary weight sweep
 //!   ablation-predictor      EWMA vs MA vs Markov vs MLP
 //!   robustness              fault-severity degradation sweep (supervised)
-//!   all                     everything above
+//!   serve-bench             deterministic fleet-serving benchmark (hev-serve)
+//!   all                     everything above except serve-bench
 //! ```
 //!
 //! `--checkpoint-dir` enables crash-tolerant training for the
@@ -47,6 +48,16 @@
 //! Output is bit-identical either way; CI diffs the two runs to prove
 //! it.
 //!
+//! The `serve-bench` target runs the `hev-serve` fleet service over a
+//! seeded synthetic fleet: `--serve-shards` picks the worker count,
+//! `--chaos` injects crashes, malformed requests, and burst overload,
+//! `--serve-out` writes the response stream (JSONL — byte-identical at
+//! every shard count; CI `cmp`s shards 1 vs 4), and `--serve-report`
+//! writes the versioned JSON report including wall-clock throughput
+//! (machine-dependent, never compared). With `--csv` the per-session
+//! degradation ladder lands in `serve_degradation.csv`, and
+//! `--metrics-prom` exposes the serve counters in Prometheus format.
+//!
 //! `--wave N` steps N independent runs of each experiment-grid cell in
 //! lockstep on one worker, sharing every timestep's precomputed
 //! evaluation context and fusing the lanes' candidate evaluations into
@@ -61,6 +72,7 @@ use hev_bench::perf::{self, StepThroughputReport};
 use hev_bench::robustness::{self, CheckpointOptions};
 use hev_control::harness::{runlog, RunEvent, RunLog};
 use hev_control::{RunTelemetry, TelemetryConfig};
+use hev_serve::{run_serve_bench, FleetConfig, ServeConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -85,6 +97,10 @@ fn main() -> ExitCode {
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut checkpoint_every: usize = 25;
     let mut resume = false;
+    let mut serve_chaos = false;
+    let mut serve_shards: usize = 1;
+    let mut serve_out: Option<PathBuf> = None;
+    let mut serve_report: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -150,6 +166,19 @@ fn main() -> ExitCode {
             },
             "--resume" => resume = true,
             "--scalar-reference" => cfg.scalar_reference = true,
+            "--chaos" => serve_chaos = true,
+            "--serve-shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => serve_shards = n,
+                _ => return usage("--serve-shards needs a positive integer"),
+            },
+            "--serve-out" => match args.next() {
+                Some(path) => serve_out = Some(PathBuf::from(path)),
+                None => return usage("--serve-out needs a path"),
+            },
+            "--serve-report" => match args.next() {
+                Some(path) => serve_report = Some(PathBuf::from(path)),
+                None => return usage("--serve-report needs a path"),
+            },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
                 return usage(&format!("unknown flag {other}"));
@@ -249,6 +278,19 @@ fn main() -> ExitCode {
                 ablations::ablation_predictor(&cfg),
             ),
             "robustness" => robustness_target(&cfg, csv_dir.as_deref(), checkpoint.as_ref()),
+            "serve-bench" => {
+                if let Err(code) = serve_bench_target(
+                    &cfg,
+                    serve_chaos,
+                    serve_shards,
+                    serve_out.as_deref(),
+                    serve_report.as_deref(),
+                    csv_dir.as_deref(),
+                    &mut collected,
+                ) {
+                    return code;
+                }
+            }
             other => return usage(&format!("unknown target {other}")),
         }
         runlog::emit(
@@ -403,6 +445,80 @@ fn bench_throughput(
 /// this fraction of the baseline.
 const STEPS_GUARD_FLOOR: f64 = 0.25;
 
+/// Runs the deterministic fleet-serving benchmark (`hev-serve`): a
+/// seeded synthetic fleet served over `shards` workers with bounded
+/// admission, eval-budget deadlines, and crash quarantine. The response
+/// stream and degradation CSV are byte-identical at every shard count;
+/// only the JSON report's throughput fields are machine-dependent.
+fn serve_bench_target(
+    cfg: &ExperimentConfig,
+    chaos: bool,
+    shards: usize,
+    serve_out: Option<&std::path::Path>,
+    serve_report: Option<&std::path::Path>,
+    csv_dir: Option<&std::path::Path>,
+    collected: &mut Vec<RunTelemetry>,
+) -> Result<(), ExitCode> {
+    let fleet = FleetConfig {
+        seed: cfg.seed,
+        chaos,
+        ..FleetConfig::default()
+    };
+    println!(
+        "\n== Serve bench: {} sessions, {} requests, {} shard(s){} ==",
+        fleet.sessions,
+        fleet.requests,
+        shards,
+        if chaos { ", chaos" } else { "" }
+    );
+    let config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let result = run_serve_bench(&fleet, &config).map_err(|e| {
+        eprintln!("error: serve-bench: {e}");
+        ExitCode::FAILURE
+    })?;
+    rule(72);
+    println!("{}", result.report_json);
+    println!("health: {}", result.health_json);
+    rule(72);
+    if let Some(path) = serve_out {
+        std::fs::write(path, &result.response_stream).map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!(
+            "(wrote {}: {} response lines)",
+            path.display(),
+            result.response_stream.lines().count()
+        );
+    }
+    if let Some(path) = serve_report {
+        std::fs::write(path, format!("{}\n", result.report_json)).map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {})", path.display());
+    }
+    write_csv(
+        csv_dir,
+        "serve_degradation",
+        result.degradation_header,
+        &result.degradation_rows,
+    );
+    // Route the health line, flight dumps, and Prometheus exposition
+    // through the shared telemetry writer (--metrics-json/--trace/
+    // --metrics-prom).
+    collected.push(RunTelemetry {
+        label: "serve-bench".to_string(),
+        metrics_lines: vec![result.health_json.clone()],
+        trace_lines: result.flight_dumps.clone(),
+        prometheus: result.prometheus.clone(),
+    });
+    Ok(())
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -413,9 +529,11 @@ fn usage(err: &str) -> ExitCode {
          [--metrics-json PATH] [--metrics-prom PATH] [--trace PATH] [--trace-sample N] \
          [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT] \
          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
-         [--scalar-reference] <target>...\n\
+         [--scalar-reference] \
+         [--chaos] [--serve-shards N] [--serve-out PATH] [--serve-report PATH] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
-         ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness all\n\
+         ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness \
+         serve-bench all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
          --wave N trains N runs of a grid cell in lockstep on one worker, sharing each\n\
          timestep's precomputed context; output is bit-identical at every width.\n\
@@ -431,7 +549,11 @@ fn usage(err: &str) -> ExitCode {
          --scalar-reference forces the scalar inner optimization (no batched kernel);\n\
          output is bit-identical to the default batched path.\n\
          --checkpoint-dir enables crash-tolerant training for the robustness target\n\
-         (checkpoint every --checkpoint-every episodes; --resume restarts bit-identically)."
+         (checkpoint every --checkpoint-every episodes; --resume restarts bit-identically).\n\
+         serve-bench runs the hev-serve fleet service: --serve-shards picks the worker\n\
+         count, --chaos injects crashes/malformed requests/burst overload, --serve-out\n\
+         writes the shard-invariant response stream (JSONL), --serve-report the JSON\n\
+         report with wall-clock throughput; --csv adds serve_degradation.csv."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

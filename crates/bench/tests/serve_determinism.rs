@@ -1,0 +1,110 @@
+//! Serving determinism and chaos suites (the ISSUE-8 acceptance
+//! criteria): same seed + same request order ⇒ byte-identical response
+//! stream, degradation report, and shed log at shard counts {1, 2, 4};
+//! and under chaos mode the service never panics the process, never
+//! emits an infeasible or non-finite control, and answers every request
+//! exactly once.
+
+use hev_serve::{run_serve_bench, serve, FleetConfig, ServeConfig, Verdict};
+
+fn fleet(chaos: bool) -> FleetConfig {
+    FleetConfig {
+        sessions: 6,
+        requests: 220,
+        seed: 42,
+        chaos,
+    }
+}
+
+fn at_shards(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn response_stream_is_byte_identical_at_shard_counts_1_2_4() {
+    for chaos in [false, true] {
+        let runs: Vec<_> = [1, 2, 4]
+            .into_iter()
+            .map(|s| run_serve_bench(&fleet(chaos), &at_shards(s)).unwrap())
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(
+                runs[0].response_stream, other.response_stream,
+                "response stream diverged across shard counts (chaos {chaos})"
+            );
+            assert_eq!(
+                runs[0].degradation_rows, other.degradation_rows,
+                "degradation report diverged across shard counts (chaos {chaos})"
+            );
+            assert_eq!(
+                runs[0].prometheus, other.prometheus,
+                "shed/serve counters diverged across shard counts (chaos {chaos})"
+            );
+            assert_eq!(runs[0].report, other.report);
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let a = run_serve_bench(&fleet(true), &at_shards(2)).unwrap();
+    let b = run_serve_bench(&fleet(true), &at_shards(2)).unwrap();
+    assert_eq!(a.response_stream, b.response_stream);
+    assert_eq!(a.degradation_rows, b.degradation_rows);
+    assert_eq!(a.health_json, b.health_json);
+}
+
+#[test]
+fn chaos_never_panics_and_answers_every_request_exactly_once() {
+    let config = fleet(true);
+    let sessions = hev_serve::fleet::build_sessions(&config);
+    let requests = hev_serve::fleet::build_requests(&config, sessions.len() as u64);
+    let output = serve(&at_shards(3), &sessions, &requests).unwrap();
+
+    // Exactly one response per request, in stream order.
+    assert_eq!(output.responses.len(), requests.len());
+    for (req, resp) in requests.iter().zip(&output.responses) {
+        assert_eq!(resp.index, req.index);
+        assert_eq!(resp.session, req.session);
+    }
+
+    // Served controls are finite and the dispositions reconcile.
+    let mut served = 0u64;
+    for resp in &output.responses {
+        if let Verdict::Served {
+            control, soc_after, ..
+        } = &resp.verdict
+        {
+            assert!(control.is_finite(), "non-finite control served");
+            assert!(soc_after.is_finite());
+            served += 1;
+        }
+    }
+    let stats_served: u64 = output.stats.values().map(|s| s.served).sum();
+    assert_eq!(served, stats_served);
+
+    // The chaos stream's attack shapes all left traces: quarantines from
+    // crash flags, shedding from bursts, typed errors from malformed
+    // requests.
+    assert!(output.quarantines > 0, "crash flags must quarantine");
+    let shed: u64 = output.stats.values().map(|s| s.shed).sum();
+    assert!(shed > 0, "bursts must shed");
+    let errors: u64 = output.stats.values().map(|s| s.errors).sum();
+    assert!(
+        errors + output.unknown_session > 0,
+        "malformed requests must yield typed errors"
+    );
+}
+
+#[test]
+fn report_json_is_versioned_and_deterministic() {
+    let a = run_serve_bench(&fleet(true), &at_shards(1)).unwrap();
+    // The throughput-free report encoding is byte-stable; wall-clock
+    // fields live only in `report_json`/`to_json_with_throughput`.
+    let b = run_serve_bench(&fleet(true), &at_shards(4)).unwrap();
+    assert_eq!(a.report.to_json(), b.report.to_json());
+    assert!(a.report.to_json().starts_with("{\"version\":1,"));
+}

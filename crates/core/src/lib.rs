@@ -82,7 +82,9 @@ pub use baseline::{
     solve_dp, CdCsConfig, CdCsController, DpConfig, DpPolicy, DpSolution, EcmsConfig,
     EcmsController, RuleBasedConfig, RuleBasedController,
 };
-pub use checkpoint::{train_portfolio_checkpointed, CheckpointSpec, TrainCheckpoint};
+pub use checkpoint::{
+    train_portfolio_checkpointed, CheckpointError, CheckpointSpec, TrainCheckpoint,
+};
 pub use controller::{ControllerSnapshot, JointController, JointControllerConfig};
 pub use fault::{FaultConfig, FaultPlan};
 pub use harness::{

@@ -505,12 +505,39 @@ fn step_with_fallback(
         }
         factor *= 0.9;
     }
-    // hevlint::allow(panic::macro, physical invariant: 0.9^60 of any demand is effectively zero torque at the wheel, and a zero demand is always feasible — covered by sim tests)
-    unreachable!(
-        "a near-zero demand at {:.1} m/s must be feasible (soc {:.3})",
-        demand.speed_mps,
-        hev.soc()
-    );
+    // Park the vehicle for one step: a zero demand with the idle-load
+    // control is the most conservative request the plant accepts. With a
+    // hostile (but finite) demand even 0.9^60 clipping can fail, and an
+    // episode must never panic the process — serving quarantine depends
+    // on library code staying total.
+    let parked = ControlInput {
+        battery_current_a: 0.0,
+        gear: 0,
+        p_aux_w: hev.aux().preferred_power(),
+    };
+    if let Ok(outcome) = hev.step(&WheelDemand::default(), &parked, dt) {
+        return outcome;
+    }
+    // Even parking failed (e.g. the battery window rejects the idle
+    // load): freeze the plant for this step and report an all-zero
+    // stopped outcome. The step still counts as a trace miss above.
+    StepOutcome {
+        mode: hev_model::OperatingMode::Stopped,
+        fuel_rate_g_per_s: 0.0,
+        fuel_g: 0.0,
+        engine_started: false,
+        ice_torque_nm: 0.0,
+        ice_speed_rad_s: 0.0,
+        em_torque_nm: 0.0,
+        em_speed_rad_s: 0.0,
+        battery_current_a: 0.0,
+        battery_power_w: 0.0,
+        p_aux_w: 0.0,
+        aux_utility: 0.0,
+        friction_brake_torque_nm: 0.0,
+        soc_before: hev.soc(),
+        soc_after: hev.soc(),
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +638,31 @@ mod tests {
         assert_eq!(m.steps, c.len());
         assert!(m.trace_miss_steps > 0, "expected trace misses");
         assert!((0.40..=0.80).contains(&m.soc_final));
+    }
+
+    #[test]
+    fn hostile_finite_demand_never_panics_the_fallback() {
+        // A demand so large that even 0.9^60 clipping leaves it far
+        // beyond the powertrain's envelope: the fallback must park the
+        // vehicle and return a finite outcome, never panic — serving
+        // sessions run episodes in library code where a panic would
+        // trigger a quarantine.
+        let mut hev = hev();
+        let hostile = WheelDemand {
+            speed_mps: 1e12,
+            accel_mps2: 1e12,
+            grade: 0.9,
+            tractive_force_n: 1e15,
+            wheel_torque_nm: 1e15,
+            wheel_speed_rad_s: 1e12,
+            power_demand_w: 1e18,
+        };
+        let mut m = EpisodeMetrics::new(hev.soc());
+        let outcome = step_with_fallback(&mut hev, &hostile, 1.0, &mut m);
+        assert_eq!(m.trace_miss_steps, 1);
+        assert!(outcome.soc_after.is_finite());
+        assert!(outcome.fuel_g.is_finite());
+        assert!(hev.soc().is_finite());
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn validate(
     control: &ControlInput,
     dt: f64,
 ) -> Result<(), Rejection> {
-    if !control.battery_current_a.is_finite() || !control.p_aux_w.is_finite() {
+    if !control.is_finite() {
         return Err(Rejection::NonFinite);
     }
     if hev.peek_with_context(ctx, control, dt).is_err() {

@@ -58,6 +58,15 @@ pub struct ControlInput {
     pub p_aux_w: f64,
 }
 
+impl ControlInput {
+    /// Whether both float fields are finite — the first check every
+    /// safety layer (supervisor, serving ladder) applies before probing
+    /// feasibility, since a NaN control would poison the plant state.
+    pub fn is_finite(&self) -> bool {
+        self.battery_current_a.is_finite() && self.p_aux_w.is_finite()
+    }
+}
+
 /// The realized operating mode of one step (the paper's five modes from
 /// §2, plus `Stopped` and `FrictionBraking` bookkeeping states).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

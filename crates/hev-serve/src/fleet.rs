@@ -1,0 +1,218 @@
+//! Seeded synthetic fleets and the chaos-mode request generator.
+//!
+//! A fleet is heterogeneous by construction: each session draws its own
+//! seed from a [`SeedSequence`] child, cycles through fault severities
+//! (healthy through aggressively degraded), and starts at its own SOC.
+//! Requests come from one sequential RNG stream — fully deterministic
+//! for a given `(seed, chaos)` pair — with budgets cycled across the
+//! ladder tiers so every rung is exercised.
+//!
+//! Chaos mode layers three attack shapes on top:
+//!
+//! * **malformed requests** — NaN speeds, out-of-range SOC, unknown
+//!   session ids, and stale epoch pins, rotated deterministically;
+//! * **session crashes** — the [`Request::crash`] flag, exercising the
+//!   quarantine/reseed path;
+//! * **burst overload** — runs of consecutive requests aimed at one hot
+//!   session, overflowing its bounded admission queue so shedding is
+//!   observable.
+
+use crate::session::SessionSpec;
+use crate::wire::Request;
+use hev_control::harness::{split_seed, SeedSequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fleet-generation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of vehicle sessions.
+    pub sessions: usize,
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether to inject crashes, malformed requests, and bursts.
+    pub chaos: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 8,
+            requests: 256,
+            seed: 2015,
+            chaos: false,
+        }
+    }
+}
+
+/// Fault severities cycled across the fleet (healthy → degraded).
+const SEVERITIES: [f64; 4] = [0.0, 0.5, 1.0, 1.5];
+
+/// Domain-separation tag for the request stream's RNG ("REQS").
+const REQUEST_STREAM_TAG: u64 = 0x5245_5153;
+
+/// Consecutive requests aimed at the hot session during a chaos burst.
+const BURST_LEN: usize = 16;
+
+/// Builds the fleet's session specs: ids `0..sessions`, each with its
+/// own seed child, a cycled fault severity, and a seeded initial SOC in
+/// `[0.45, 0.75)`.
+pub fn build_sessions(config: &FleetConfig) -> Vec<SessionSpec> {
+    let seq = SeedSequence::new(config.seed);
+    (0..config.sessions)
+        .map(|k| {
+            let seed = seq.child(k as u64);
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, 1));
+            SessionSpec {
+                id: k as u64,
+                seed,
+                severity: SEVERITIES[k % SEVERITIES.len()],
+                initial_soc: rng.gen_range(0.45..0.75),
+            }
+        })
+        .collect()
+}
+
+/// Builds the request stream over session ids `0..session_count`: one
+/// sequential RNG stream, budgets cycled across the ladder tiers, and —
+/// in chaos mode — deterministic malformed/crash/burst injections.
+pub fn build_requests(config: &FleetConfig, session_count: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(split_seed(config.seed, REQUEST_STREAM_TAG));
+    // 0 = service default; the rest exercise full, myopic, rule, and
+    // limp-home entry costs.
+    let budgets: [u64; 5] = [0, 6000, 1500, 600, 80];
+    let mut requests = Vec::with_capacity(config.requests);
+    let mut burst_left = 0usize;
+    let mut burst_target = 0u64;
+    for i in 0..config.requests {
+        // Fixed draws per iteration keep the stream position a function
+        // of the index alone.
+        let session_draw = rng.gen_range(0..session_count.max(1));
+        let speed = rng.gen_range(0.0..30.0);
+        let accel = rng.gen_range(-1.5..1.5);
+        let grade = rng.gen_range(-0.05..0.05);
+        let soc = rng.gen_range(0.2..0.9);
+
+        let mut session = session_draw;
+        if config.chaos {
+            if burst_left > 0 {
+                session = burst_target;
+                burst_left -= 1;
+            } else if i % 97 == 0 && i > 0 {
+                burst_target = session_draw;
+                burst_left = BURST_LEN;
+                session = burst_target;
+            }
+        }
+
+        let mut req = Request {
+            index: i as u64,
+            session,
+            epoch: 0,
+            soc,
+            speed_mps: speed,
+            accel_mps2: accel,
+            grade,
+            budget_evals: budgets[i % budgets.len()],
+            crash: false,
+        };
+
+        if config.chaos {
+            if i % 53 == 7 {
+                // Rotate the malformed shapes deterministically.
+                match (i / 53) % 4 {
+                    0 => req.speed_mps = f64::NAN,
+                    1 => req.soc = 7.0,
+                    2 => req.session = 1_000_000 + i as u64,
+                    _ => req.epoch = 999,
+                }
+            }
+            if i % 101 == 13 {
+                req.crash = true;
+            }
+        }
+        requests.push(req);
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleets_are_heterogeneous_and_deterministic() {
+        let config = FleetConfig {
+            sessions: 8,
+            ..FleetConfig::default()
+        };
+        let a = build_sessions(&config);
+        let b = build_sessions(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        // Distinct seeds, cycled severities, varied SOCs.
+        assert!(a.windows(2).all(|w| w[0].seed != w[1].seed));
+        assert_eq!(a[0].severity, 0.0);
+        assert_eq!(a[5].severity, 0.5);
+        assert!(a.iter().any(|s| s.initial_soc != a[0].initial_soc));
+        for s in &a {
+            assert!((0.45..0.75).contains(&s.initial_soc));
+        }
+    }
+
+    #[test]
+    fn request_streams_are_deterministic_and_indexed_in_order() {
+        let config = FleetConfig {
+            sessions: 4,
+            requests: 300,
+            seed: 7,
+            chaos: true,
+        };
+        let a = build_requests(&config, 4);
+        let b = build_requests(&config, 4);
+        // Chaos streams contain NaN fields, so compare the debug
+        // rendering (NaN != NaN under PartialEq).
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn chaos_mode_injects_each_attack_shape() {
+        let config = FleetConfig {
+            sessions: 4,
+            requests: 600,
+            seed: 7,
+            chaos: true,
+        };
+        let reqs = build_requests(&config, 4);
+        assert!(reqs.iter().any(|r| r.crash));
+        assert!(reqs.iter().any(|r| r.speed_mps.is_nan()));
+        assert!(reqs.iter().any(|r| r.soc > 1.0));
+        assert!(reqs.iter().any(|r| r.session >= 4));
+        assert!(reqs.iter().any(|r| r.epoch == 999));
+        // A burst: BURST_LEN + 1 consecutive requests on one session.
+        let burst = reqs[97..97 + BURST_LEN + 1]
+            .iter()
+            .all(|r| r.session == reqs[97].session || r.session >= 1_000_000);
+        assert!(burst, "expected a burst starting at request 97");
+    }
+
+    #[test]
+    fn clean_mode_injects_nothing() {
+        let config = FleetConfig {
+            sessions: 4,
+            requests: 600,
+            seed: 7,
+            chaos: false,
+        };
+        let reqs = build_requests(&config, 4);
+        assert!(reqs.iter().all(|r| !r.crash));
+        assert!(reqs.iter().all(|r| r.speed_mps.is_finite()));
+        assert!(reqs.iter().all(|r| (0.0..=1.0).contains(&r.soc)));
+        assert!(reqs.iter().all(|r| r.session < 4 && r.epoch == 0));
+    }
+}

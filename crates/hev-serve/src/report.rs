@@ -1,0 +1,222 @@
+//! The versioned serve-bench report and degradation CSV.
+//!
+//! The report splits into a deterministic core — request/verdict
+//! counts, per-rung totals, shed rate, and eval-budget percentiles, all
+//! pure functions of the response stream — and wall-clock throughput
+//! fields the Harness-role driver adds on top. CI compares only the
+//! deterministic artifacts (response stream and degradation CSV) across
+//! shard counts.
+
+use crate::service::ServeOutput;
+use hev_trace::json::Obj;
+
+/// Version of the serve-bench report schema.
+pub const SERVE_REPORT_VERSION: u32 = 1;
+
+/// The deterministic serve-bench summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Sessions in the fleet.
+    pub sessions: u64,
+    /// Requests in the stream.
+    pub requests: u64,
+    /// Requests served with a control.
+    pub served: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Requests answered with a typed error (including unknown ids).
+    pub errors: u64,
+    /// Served counts per ladder rung (full, myopic, rule, limp-home).
+    pub rung_counts: [u64; 4],
+    /// Quarantine events.
+    pub quarantines: u64,
+    /// Requests answered `session_crashed`.
+    pub crashed_requests: u64,
+    /// Shed fraction of all requests.
+    pub shed_rate: f64,
+    /// Median evals per served request (nearest-rank).
+    pub eval_p50: u64,
+    /// 99th-percentile evals per served request (nearest-rank).
+    pub eval_p99: u64,
+}
+
+/// Nearest-rank percentile of a sorted slice (0 for an empty one).
+/// Integer percent keeps the rank computation in exact integer math.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len()).div_ceil(100);
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeReport {
+    /// Summarizes one serve run over a fleet of `sessions` vehicles.
+    pub fn from_output(output: &ServeOutput, sessions: u64) -> Self {
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut errors = output.unknown_session;
+        let mut crashed = 0u64;
+        let mut rung_counts = [0u64; 4];
+        for s in output.stats.values() {
+            served += s.served;
+            shed += s.shed;
+            errors += s.errors;
+            crashed += s.crashed;
+            for (acc, r) in rung_counts.iter_mut().zip(s.rungs.iter()) {
+                *acc += r;
+            }
+        }
+        let requests = output.responses.len() as u64;
+        let mut evals = output.served_evals();
+        evals.sort_unstable();
+        Self {
+            sessions,
+            requests,
+            served,
+            shed,
+            errors,
+            rung_counts,
+            quarantines: output.quarantines,
+            crashed_requests: crashed,
+            shed_rate: if requests == 0 {
+                0.0
+            } else {
+                shed as f64 / requests as f64
+            },
+            eval_p50: percentile(&evals, 50),
+            eval_p99: percentile(&evals, 99),
+        }
+    }
+
+    /// The deterministic report fields as one JSON object body (no
+    /// braces), so the driver can append wall-clock fields.
+    fn core(&self) -> Obj {
+        Obj::new()
+            .u64("version", u64::from(SERVE_REPORT_VERSION))
+            .u64("sessions", self.sessions)
+            .u64("requests", self.requests)
+            .u64("served", self.served)
+            .u64("shed", self.shed)
+            .u64("errors", self.errors)
+            .u64("rung_full", self.rung_counts[0])
+            .u64("rung_myopic", self.rung_counts[1])
+            .u64("rung_rule", self.rung_counts[2])
+            .u64("rung_limp_home", self.rung_counts[3])
+            .u64("quarantines", self.quarantines)
+            .u64("crashed_requests", self.crashed_requests)
+            .f64("shed_rate", self.shed_rate)
+            .u64("eval_p50", self.eval_p50)
+            .u64("eval_p99", self.eval_p99)
+    }
+
+    /// The deterministic report as one JSON line.
+    pub fn to_json(&self) -> String {
+        self.core().finish()
+    }
+
+    /// The report plus the driver's wall-clock throughput fields.
+    pub fn to_json_with_throughput(&self, wall_s: f64) -> String {
+        let requests_per_sec = if wall_s > 0.0 {
+            self.requests as f64 / wall_s
+        } else {
+            0.0
+        };
+        let sessions_per_sec = if wall_s > 0.0 {
+            self.sessions as f64 / wall_s
+        } else {
+            0.0
+        };
+        self.core()
+            .f64("wall_s", wall_s)
+            .f64("requests_per_sec", requests_per_sec)
+            .f64("sessions_per_sec", sessions_per_sec)
+            .finish()
+    }
+}
+
+/// Header of the per-session degradation CSV.
+pub const DEGRADATION_CSV_HEADER: &str =
+    "session,requests,served,shed,errors,full,myopic,rule,limp_home,quarantines,crashed";
+
+/// The per-session degradation rows, in session-id order.
+pub fn degradation_csv_rows(output: &ServeOutput) -> Vec<String> {
+    output
+        .stats
+        .iter()
+        .map(|(id, s)| {
+            format!(
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                id,
+                s.requests,
+                s.served,
+                s.shed,
+                s.errors,
+                s.rungs[0],
+                s.rungs[1],
+                s.rungs[2],
+                s.rungs[3],
+                s.quarantines,
+                s.crashed
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{build_requests, build_sessions, FleetConfig};
+    use crate::service::{serve, ServeConfig};
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[10], 50), 10);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 99), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 100), 4);
+    }
+
+    #[test]
+    fn report_counts_reconcile_with_the_stream() {
+        let fleet = FleetConfig {
+            sessions: 3,
+            requests: 40,
+            seed: 11,
+            chaos: false,
+        };
+        let sessions = build_sessions(&fleet);
+        let requests = build_requests(&fleet, sessions.len() as u64);
+        let out = serve(&ServeConfig::default(), &sessions, &requests).unwrap();
+        let report = ServeReport::from_output(&out, sessions.len() as u64);
+        assert_eq!(report.requests, 40);
+        assert_eq!(report.served + report.shed + report.errors, report.requests);
+        assert_eq!(report.rung_counts.iter().sum::<u64>(), report.served);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"eval_p50\":"));
+        let with_wall = report.to_json_with_throughput(2.0);
+        assert!(with_wall.contains("\"wall_s\":2.0"));
+        assert!(with_wall.contains("\"requests_per_sec\":20.0"));
+    }
+
+    #[test]
+    fn degradation_rows_cover_every_session() {
+        let fleet = FleetConfig {
+            sessions: 3,
+            requests: 30,
+            seed: 5,
+            chaos: false,
+        };
+        let sessions = build_sessions(&fleet);
+        let requests = build_requests(&fleet, sessions.len() as u64);
+        let out = serve(&ServeConfig::default(), &sessions, &requests).unwrap();
+        let rows = degradation_csv_rows(&out);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(DEGRADATION_CSV_HEADER.split(',').count(), 11);
+        for row in &rows {
+            assert_eq!(row.split(',').count(), 11);
+        }
+    }
+}

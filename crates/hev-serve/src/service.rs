@@ -1,0 +1,545 @@
+//! The service loop: bounded admission, sharded execution, and crash
+//! quarantine.
+//!
+//! Requests are consumed in ticks of [`ServeConfig::tick_requests`].
+//! Each tick runs three sequential-parallel-sequential stages:
+//!
+//! 1. **Admission (sequential)** — requests are routed to per-session
+//!    queues bounded by [`ServeConfig::queue_capacity`]; an unknown
+//!    session id is answered immediately with a typed error and a full
+//!    queue sheds the request with an explicit backpressure verdict.
+//!    Both decisions depend only on queue depth and request order.
+//! 2. **Execution (parallel)** — each session's queue is one task for
+//!    `run_indexed_caught` over [`ServeConfig::shards`] workers. The
+//!    task's content (session state + queued requests) is independent
+//!    of the shard count, and eval budgets are differenced inside the
+//!    task, so responses are byte-identical at any shard count.
+//! 3. **Scatter & quarantine (sequential)** — verdicts land in the slot
+//!    of their request's stream position (never a client-supplied
+//!    field, so a hostile index cannot address memory). A panicked task
+//!    quarantines its session: the queued requests are dumped through a
+//!    [`FlightRecorder`], the session is rebuilt with a retry-tagged
+//!    reseed (advancing its epoch), and the whole queue is replayed
+//!    sequentially with per-request crash isolation — a request that
+//!    panics the reseeded session too is answered
+//!    [`RequestError::SessionCrashed`] and the session reseeds again.
+//!    The shard never stops serving and every request gets exactly one
+//!    response.
+
+use crate::ladder::LadderConfig;
+use crate::session::{Session, SessionSpec};
+use crate::wire::{Request, RequestError, Response, Rung, Verdict};
+use hev_control::harness::{run_indexed_caught, RunOutcome};
+use hev_model::ParamError;
+use hev_trace::json::Obj;
+use hev_trace::{FlightRecorder, MetricsRegistry};
+use std::collections::BTreeMap;
+
+/// Service tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads the per-tick session batches fan out over.
+    pub shards: usize,
+    /// Bounded per-session admission queue depth; a request arriving at
+    /// a full queue is shed.
+    pub queue_capacity: usize,
+    /// Requests consumed per tick.
+    pub tick_requests: usize,
+    /// The degradation-ladder configuration shared by every session.
+    pub ladder: LadderConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            // A tick admits ~2 requests per session of the default
+            // 8-session fleet, well under the queue bound: an evenly
+            // loaded fleet sheds nothing, and shedding appears only
+            // under chaos-mode bursts (16+ consecutive requests at one
+            // hot session within a tick).
+            queue_capacity: 8,
+            tick_requests: 16,
+            ladder: LadderConfig::default(),
+        }
+    }
+}
+
+/// Per-session serving statistics (the degradation report's rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests addressed to the session (admitted or shed).
+    pub requests: u64,
+    /// Requests served with a control.
+    pub served: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Served-request counts per ladder rung (full, myopic, rule,
+    /// limp-home).
+    pub rungs: [u64; 4],
+    /// Times the session was quarantined and reseeded.
+    pub quarantines: u64,
+    /// Requests answered `session_crashed` (panicked twice).
+    pub crashed: u64,
+}
+
+impl SessionStats {
+    fn record(&mut self, verdict: &Verdict) {
+        self.requests += 1;
+        match verdict {
+            Verdict::Served { rung, .. } => {
+                self.served += 1;
+                self.rungs[rung.index()] += 1;
+            }
+            Verdict::Shed { .. } => self.shed += 1,
+            Verdict::Error(RequestError::SessionCrashed) => {
+                self.errors += 1;
+                self.crashed += 1;
+            }
+            Verdict::Error(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Everything one [`serve`] call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutput {
+    /// One response per request, in request stream order.
+    pub responses: Vec<Response>,
+    /// Per-session statistics, in session-id order.
+    pub stats: BTreeMap<u64, SessionStats>,
+    /// Requests addressed to ids no session has.
+    pub unknown_session: u64,
+    /// Total quarantine events across all sessions.
+    pub quarantines: u64,
+    /// Flight-recorder dumps and quarantine events, in occurrence order
+    /// (deterministic: quarantines are scattered sequentially).
+    pub flight_dumps: Vec<String>,
+}
+
+impl ServeOutput {
+    /// The deterministic response stream: one JSON line per request, in
+    /// stream order, newline-terminated.
+    pub fn response_stream(&self) -> String {
+        let mut out = String::new();
+        for r in &self.responses {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Eval counts of every served request, in response order.
+    pub fn served_evals(&self) -> Vec<u64> {
+        self.responses
+            .iter()
+            .filter_map(|r| match r.verdict {
+                Verdict::Served { evals, .. } => Some(evals),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Registers the serve counters and the eval-budget histogram in a
+    /// metrics registry (Prometheus exposition comes with it).
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut errors = 0u64;
+        let mut crashed = 0u64;
+        let mut rungs = [0u64; 4];
+        for s in self.stats.values() {
+            served += s.served;
+            shed += s.shed;
+            errors += s.errors;
+            crashed += s.crashed;
+            for (acc, r) in rungs.iter_mut().zip(s.rungs.iter()) {
+                *acc += r;
+            }
+        }
+        registry.counter_add("serve.requests", self.responses.len() as u64);
+        registry.counter_add("serve.served", served);
+        registry.counter_add("serve.shed", shed);
+        registry.counter_add("serve.errors", errors + self.unknown_session);
+        registry.counter_add("serve.unknown_session", self.unknown_session);
+        registry.counter_add("serve.quarantines", self.quarantines);
+        registry.counter_add("serve.crashed_requests", crashed);
+        for (rung, count) in [Rung::Full, Rung::Myopic, Rung::Rule, Rung::LimpHome]
+            .iter()
+            .zip(rungs.iter())
+        {
+            registry.counter_add(&format!("serve.rung.{}", rung.name()), *count);
+        }
+        const BOUNDS: [f64; 7] = [100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0];
+        for evals in self.served_evals() {
+            registry.histogram_observe("serve.request_evals", &BOUNDS, evals as f64);
+        }
+    }
+}
+
+/// Encodes a request for a flight-recorder dump.
+fn request_event(req: &Request) -> String {
+    Obj::new()
+        .str("event", "queued_request")
+        .u64("index", req.index)
+        .u64("session", req.session)
+        .u64("epoch", req.epoch)
+        .f64("soc", req.soc)
+        .f64("speed_mps", req.speed_mps)
+        .f64("accel_mps2", req.accel_mps2)
+        .f64("grade", req.grade)
+        .u64("budget_evals", req.budget_evals)
+        .bool("crash", req.crash)
+        .finish()
+}
+
+/// One session's tick batch: the session id, the session itself
+/// (removed from the table for the duration of the fan-out), and its
+/// admitted `(slot, request)` queue.
+type SessionBatch = (u64, Session, Vec<(usize, Request)>);
+
+/// Serves `requests` (in order) against the fleet described by
+/// `sessions`, returning one response per request plus per-session
+/// degradation statistics. See the module docs for the tick pipeline
+/// and the determinism argument. `Err` only on an invalid session spec
+/// (a service-configuration error, not a request-reachable state).
+pub fn serve(
+    config: &ServeConfig,
+    sessions: &[SessionSpec],
+    requests: &[Request],
+) -> Result<ServeOutput, ParamError> {
+    let mut table: BTreeMap<u64, Session> = BTreeMap::new();
+    let mut specs: BTreeMap<u64, SessionSpec> = BTreeMap::new();
+    let mut stats: BTreeMap<u64, SessionStats> = BTreeMap::new();
+    for spec in sessions {
+        table.insert(spec.id, Session::new(*spec, 0)?);
+        specs.insert(spec.id, *spec);
+        stats.insert(spec.id, SessionStats::default());
+    }
+
+    let mut slots: Vec<Option<Response>> = vec![None; requests.len()];
+    let mut unknown_session = 0u64;
+    let mut quarantines = 0u64;
+    let mut flight_dumps = Vec::new();
+    let tick = config.tick_requests.max(1);
+
+    for (tick_index, chunk) in requests.chunks(tick).enumerate() {
+        // Stage 1: sequential admission into bounded per-session queues.
+        // Slots are addressed by stream position, never by the
+        // client-supplied index field.
+        let mut queues: BTreeMap<u64, Vec<(usize, Request)>> = BTreeMap::new();
+        for (offset, req) in chunk.iter().enumerate() {
+            let slot = tick_index * tick + offset;
+            if !table.contains_key(&req.session) {
+                unknown_session += 1;
+                slots[slot] = Some(Response {
+                    index: req.index,
+                    session: req.session,
+                    verdict: Verdict::Error(RequestError::UnknownSession),
+                });
+                continue;
+            }
+            let queue = queues.entry(req.session).or_default();
+            if queue.len() >= config.queue_capacity {
+                let verdict = Verdict::Shed { depth: queue.len() };
+                if let Some(s) = stats.get_mut(&req.session) {
+                    s.record(&verdict);
+                }
+                slots[slot] = Some(Response {
+                    index: req.index,
+                    session: req.session,
+                    verdict,
+                });
+            } else {
+                queue.push((slot, *req));
+            }
+        }
+
+        // Stage 2: one task per session queue, fanned over the shards.
+        // Queue contents are retained on the caller side so a panicked
+        // task's requests can be replayed after the quarantine reseed.
+        let mut batch: Vec<SessionBatch> = Vec::with_capacity(queues.len());
+        let mut retained: Vec<(u64, Vec<(usize, Request)>)> = Vec::with_capacity(queues.len());
+        for (id, reqs) in queues {
+            if let Some(session) = table.remove(&id) {
+                retained.push((id, reqs.clone()));
+                batch.push((id, session, reqs));
+            }
+        }
+        let ladder = &config.ladder;
+        let outcomes = run_indexed_caught(config.shards, batch, |_, (id, mut session, reqs)| {
+            let verdicts: Vec<(usize, u64, Verdict)> = reqs
+                .iter()
+                .map(|(slot, req)| (*slot, req.index, session.process(req, ladder)))
+                .collect();
+            (id, session, verdicts)
+        });
+
+        // Stage 3: sequential scatter + quarantine of panicked tasks.
+        for (outcome, (id, reqs)) in outcomes.into_iter().zip(retained) {
+            match outcome {
+                RunOutcome::Ok((id_back, session, verdicts)) => {
+                    table.insert(id_back, session);
+                    for (slot, index, verdict) in verdicts {
+                        if let Some(s) = stats.get_mut(&id_back) {
+                            s.record(&verdict);
+                        }
+                        slots[slot] = Some(Response {
+                            index,
+                            session: id_back,
+                            verdict,
+                        });
+                    }
+                }
+                RunOutcome::Panicked { message } => {
+                    quarantines += 1;
+                    let stat = stats.entry(id).or_default();
+                    stat.quarantines += 1;
+                    let mut attempt = stat.quarantines;
+                    // Dump the doomed queue through the flight recorder
+                    // before replaying it.
+                    let mut recorder = FlightRecorder::new(reqs.len().max(1));
+                    for (_, req) in &reqs {
+                        recorder.record(request_event(req));
+                    }
+                    let first = reqs.first().map(|(_, r)| r.index).unwrap_or(0);
+                    if let Some(dump) = recorder.dump(
+                        &format!("session-{id}"),
+                        tick_index as u64,
+                        "session_panic",
+                        first,
+                    ) {
+                        flight_dumps.push(dump);
+                    }
+                    flight_dumps.push(
+                        Obj::new()
+                            .str("event", "quarantine")
+                            .u64("session", id)
+                            .u64("attempt", attempt)
+                            .str("panic", &message)
+                            .u64("first_request", first)
+                            .u64("queued", reqs.len() as u64)
+                            .finish(),
+                    );
+                    // Rebuild with a retry-tagged reseed and replay the
+                    // queue with per-request crash isolation.
+                    let spec = specs.get(&id).copied();
+                    let mut session = match spec {
+                        Some(spec) => Some(Session::new(spec, attempt)?),
+                        None => None,
+                    };
+                    for (slot, req) in &reqs {
+                        let verdict = match session.take() {
+                            Some(live) => {
+                                let mut replayed =
+                                    run_indexed_caught(1, vec![(live, *req)], |_, (mut s, r)| {
+                                        let v = s.process(&r, ladder);
+                                        (s, v)
+                                    });
+                                match replayed.pop() {
+                                    Some(RunOutcome::Ok((s, v))) => {
+                                        session = Some(s);
+                                        v
+                                    }
+                                    _ => {
+                                        // Crashed again: reseed once more
+                                        // for the rest of the queue.
+                                        attempt += 1;
+                                        stat.quarantines += 1;
+                                        quarantines += 1;
+                                        session = match spec {
+                                            Some(spec) => Some(Session::new(spec, attempt)?),
+                                            None => None,
+                                        };
+                                        Verdict::Error(RequestError::SessionCrashed)
+                                    }
+                                }
+                            }
+                            None => Verdict::Error(RequestError::UnknownSession),
+                        };
+                        stat.record(&verdict);
+                        slots[*slot] = Some(Response {
+                            index: req.index,
+                            session: id,
+                            verdict,
+                        });
+                    }
+                    if let Some(live) = session {
+                        table.insert(id, live);
+                    }
+                }
+            }
+        }
+    }
+
+    let responses: Vec<Response> = slots
+        .into_iter()
+        // hevlint::allow(panic::expect, every admitted request is placed exactly once by construction (unknown-session answer, shed, batch verdict, or quarantine replay); a hole would be a service bug, never a request-reachable state)
+        .map(|slot| slot.expect("request left without a response"))
+        .collect();
+    Ok(ServeOutput {
+        responses,
+        stats,
+        unknown_session,
+        quarantines,
+        flight_dumps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: u64) -> Vec<SessionSpec> {
+        (0..n)
+            .map(|id| SessionSpec {
+                id,
+                seed: 100 + id,
+                severity: 0.5,
+                initial_soc: 0.6,
+            })
+            .collect()
+    }
+
+    fn request(index: u64, session: u64) -> Request {
+        Request {
+            index,
+            session,
+            epoch: 0,
+            soc: 0.6,
+            speed_mps: 8.0,
+            accel_mps2: 0.1,
+            grade: 0.0,
+            budget_evals: 600,
+            crash: false,
+        }
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            queue_capacity: 2,
+            tick_requests: 8,
+            ladder: LadderConfig::default(),
+        }
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_response_in_order() {
+        let requests: Vec<Request> = (0..12).map(|i| request(i, i % 3)).collect();
+        let out = serve(&config(), &specs(3), &requests).unwrap();
+        assert_eq!(out.responses.len(), 12);
+        for (i, r) in out.responses.iter().enumerate() {
+            assert_eq!(r.index, i as u64);
+        }
+    }
+
+    #[test]
+    fn hostile_index_fields_cannot_misroute_responses() {
+        // The index field is a client echo; slotting uses stream
+        // position, so wild indices neither panic nor collide.
+        let mut requests: Vec<Request> = (0..4).map(|i| request(i, 0)).collect();
+        requests[1].index = u64::MAX;
+        requests[2].index = 0;
+        let out = serve(&config(), &specs(1), &requests).unwrap();
+        assert_eq!(out.responses.len(), 4);
+        assert_eq!(out.responses[1].index, u64::MAX);
+        assert_eq!(out.responses[2].index, 0);
+    }
+
+    #[test]
+    fn burst_overload_sheds_deterministically() {
+        // 8 requests to one session in one tick with capacity 2: 2 are
+        // admitted, 6 shed — a pure function of queue depth.
+        let requests: Vec<Request> = (0..8).map(|i| request(i, 0)).collect();
+        let out = serve(&config(), &specs(1), &requests).unwrap();
+        let shed: Vec<u64> = out
+            .responses
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Shed { .. }))
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(shed, (2..8).collect::<Vec<u64>>());
+        assert_eq!(out.stats[&0].shed, 6);
+        assert_eq!(out.stats[&0].served, 2);
+    }
+
+    #[test]
+    fn unknown_sessions_are_answered_not_dropped() {
+        let requests = vec![request(0, 0), request(1, 77)];
+        let out = serve(&config(), &specs(1), &requests).unwrap();
+        assert_eq!(out.unknown_session, 1);
+        assert_eq!(
+            out.responses[1].verdict,
+            Verdict::Error(RequestError::UnknownSession)
+        );
+    }
+
+    #[test]
+    fn crash_is_quarantined_and_the_shard_keeps_serving() {
+        let mut requests: Vec<Request> = (0..6).map(|i| request(i, i % 2)).collect();
+        requests[2].crash = true; // session 0's second request
+        let out = serve(&config(), &specs(2), &requests).unwrap();
+        assert_eq!(out.responses.len(), 6);
+        assert!(out.quarantines >= 1);
+        assert_eq!(
+            out.responses[2].verdict,
+            Verdict::Error(RequestError::SessionCrashed)
+        );
+        // Each session sees three requests in the tick with queue
+        // capacity 2, so the third (indices 4 and 5) is shed. Session 1
+        // is untouched by the crash; session 0's request 0 was replayed
+        // on the reseeded incarnation and served.
+        for r in &out.responses {
+            match r.index {
+                2 => {}
+                4 | 5 => assert!(matches!(r.verdict, Verdict::Shed { .. }), "{:?}", r.verdict),
+                _ => assert!(
+                    matches!(r.verdict, Verdict::Served { .. }),
+                    "request {} got {:?}",
+                    r.index,
+                    r.verdict
+                ),
+            }
+        }
+        assert!(!out.flight_dumps.is_empty());
+        assert!(out.flight_dumps[0].contains("\"event\":\"flight_dump\""));
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_the_response_stream() {
+        let mut requests: Vec<Request> = (0..24).map(|i| request(i, i % 4)).collect();
+        requests[5].crash = true;
+        requests[11].speed_mps = f64::NAN;
+        let reference = serve(
+            &ServeConfig {
+                shards: 1,
+                ..config()
+            },
+            &specs(4),
+            &requests,
+        )
+        .unwrap();
+        for shards in [2, 4] {
+            let out = serve(&ServeConfig { shards, ..config() }, &specs(4), &requests).unwrap();
+            assert_eq!(out.response_stream(), reference.response_stream());
+            assert_eq!(out.stats, reference.stats);
+            assert_eq!(out.flight_dumps, reference.flight_dumps);
+        }
+    }
+
+    #[test]
+    fn metrics_cover_the_outcome_counts() {
+        let mut requests: Vec<Request> = (0..10).map(|i| request(i, 0)).collect();
+        requests[9].soc = 9.0;
+        let out = serve(&config(), &specs(1), &requests).unwrap();
+        let mut registry = MetricsRegistry::new();
+        out.record_metrics(&mut registry);
+        let prom = registry.to_prometheus("hev_");
+        assert!(prom.contains("hev_serve_requests 10"));
+        assert!(prom.contains("hev_serve_shed"));
+        assert!(prom.contains("hev_serve_request_evals_count"));
+    }
+}

@@ -1,0 +1,158 @@
+//! A service health summary derived from registry counters.
+//!
+//! Serving layers record request dispositions as counters (requests,
+//! shed, errors, quarantines) under a common prefix; this module folds
+//! them into a three-state health verdict so dashboards and smoke tests
+//! can assert on one field instead of re-deriving thresholds. The
+//! summary is a pure function of the registry — deterministic like
+//! every other exposition in this crate.
+
+use crate::json::Obj;
+use crate::registry::{MetricValue, MetricsRegistry};
+
+/// The three-state verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Every request served; no shedding, errors, or quarantines.
+    Ok,
+    /// Some requests were shed or answered with typed errors, but the
+    /// service stayed within tolerances.
+    Degraded,
+    /// Quarantines occurred, or shed/error ratios exceeded 25 % — the
+    /// service survived but needs attention.
+    Critical,
+}
+
+impl HealthState {
+    /// A stable snake_case name for encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Degraded => "degraded",
+            Self::Critical => "critical",
+        }
+    }
+}
+
+/// Shed/error ratio beyond which the service counts as critical.
+const CRITICAL_RATIO: f64 = 0.25;
+
+/// A folded health verdict plus the ratios it was derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSummary {
+    /// The verdict.
+    pub state: HealthState,
+    /// Requests observed.
+    pub requests: u64,
+    /// Shed fraction of all requests.
+    pub shed_ratio: f64,
+    /// Error fraction of all requests.
+    pub error_ratio: f64,
+    /// Quarantine events.
+    pub quarantines: u64,
+}
+
+/// Reads a counter, defaulting to 0 when absent or of another kind.
+fn counter(registry: &MetricsRegistry, name: &str) -> u64 {
+    match registry.get(name) {
+        Some(MetricValue::Counter(c)) => *c,
+        _ => 0,
+    }
+}
+
+impl HealthSummary {
+    /// Folds the counters `<prefix>requests`, `<prefix>shed`,
+    /// `<prefix>errors`, and `<prefix>quarantines` into a verdict
+    /// (missing counters read as zero, so an empty registry is `Ok`).
+    pub fn from_registry(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let requests = counter(registry, &format!("{prefix}requests"));
+        let shed = counter(registry, &format!("{prefix}shed"));
+        let errors = counter(registry, &format!("{prefix}errors"));
+        let quarantines = counter(registry, &format!("{prefix}quarantines"));
+        let ratio = |n: u64| {
+            if requests == 0 {
+                0.0
+            } else {
+                n as f64 / requests as f64
+            }
+        };
+        let shed_ratio = ratio(shed);
+        let error_ratio = ratio(errors);
+        let state =
+            if quarantines > 0 || shed_ratio > CRITICAL_RATIO || error_ratio > CRITICAL_RATIO {
+                HealthState::Critical
+            } else if shed > 0 || errors > 0 {
+                HealthState::Degraded
+            } else {
+                HealthState::Ok
+            };
+        Self {
+            state,
+            requests,
+            shed_ratio,
+            error_ratio,
+            quarantines,
+        }
+    }
+
+    /// The summary as one JSON line.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("state", self.state.name())
+            .u64("requests", self.requests)
+            .f64("shed_ratio", self.shed_ratio)
+            .f64("error_ratio", self.error_ratio)
+            .u64("quarantines", self.quarantines)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_is_ok() {
+        let summary = HealthSummary::from_registry(&MetricsRegistry::new(), "serve.");
+        assert_eq!(summary.state, HealthState::Ok);
+        assert_eq!(summary.requests, 0);
+    }
+
+    #[test]
+    fn shedding_degrades_and_quarantines_are_critical() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("serve.requests", 100);
+        r.counter_add("serve.shed", 3);
+        let summary = HealthSummary::from_registry(&r, "serve.");
+        assert_eq!(summary.state, HealthState::Degraded);
+        assert!((summary.shed_ratio - 0.03).abs() < 1e-12);
+
+        r.counter_add("serve.quarantines", 1);
+        let summary = HealthSummary::from_registry(&r, "serve.");
+        assert_eq!(summary.state, HealthState::Critical);
+    }
+
+    #[test]
+    fn heavy_shedding_is_critical_without_quarantines() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("serve.requests", 100);
+        r.counter_add("serve.shed", 30);
+        assert_eq!(
+            HealthSummary::from_registry(&r, "serve.").state,
+            HealthState::Critical
+        );
+    }
+
+    #[test]
+    fn json_encoding_is_stable() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("serve.requests", 4);
+        r.counter_add("serve.errors", 1);
+        let json = HealthSummary::from_registry(&r, "serve.").to_json();
+        assert_eq!(
+            json,
+            "{\"state\":\"degraded\",\"requests\":4,\"shed_ratio\":0.0,\
+             \"error_ratio\":0.25,\"quarantines\":0}"
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //!   panic (the flight recorder);
 //! * [`evals`] — the thread-local peek-equivalent evaluation counter
 //!   (migrated here from `hev_model::instrument`);
+//! * [`health`] — a three-state service health verdict folded from
+//!   serving counters (requests, shed, errors, quarantines);
 //! * [`sink`] — file-writing sinks for the harness layer (the only
 //!   module allowed to touch the wall clock).
 //!
@@ -34,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod evals;
+pub mod health;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod trace;
 
+pub use health::{HealthState, HealthSummary};
 pub use recorder::FlightRecorder;
 pub use registry::{Histogram, MetricValue, MetricsRegistry};
 pub use trace::{StepEvent, TraceSampler, TRACE_SCHEMA_VERSION};

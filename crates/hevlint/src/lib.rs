@@ -66,17 +66,19 @@ impl Report {
 ///
 /// The harness/bench/tooling layer — `crates/bench` (experiment runner,
 /// prints reports, measures wall-clock), `crates/core/src/harness`
-/// (timing + run-log layer), `crates/hevlint` itself (a CLI tool), and
+/// (timing + run-log layer), `crates/hevlint` itself (a CLI tool),
 /// `crates/hev-trace/src/sink.rs` (the telemetry file writer, the one
-/// hev-trace module allowed to touch the clock and filesystem) — is
-/// exempt from the wall-clock/env/print rules; everything else is
-/// library code.
+/// hev-trace module allowed to touch the clock and filesystem), and
+/// `crates/hev-serve/src/driver.rs` (the serve-bench driver, the one
+/// hev-serve module that times wall-clock throughput) — is exempt from
+/// the wall-clock/env/print rules; everything else is library code.
 pub fn role_for(rel_path: &str) -> Role {
     let p = rel_path.replace('\\', "/");
     if p.starts_with("crates/bench/")
         || p.starts_with("crates/hevlint/")
         || p.contains("/harness/")
         || p == "crates/hev-trace/src/sink.rs"
+        || p == "crates/hev-serve/src/driver.rs"
     {
         Role::Harness
     } else {
@@ -179,6 +181,8 @@ mod tests {
         assert_eq!(role_for("crates/hevlint/src/main.rs"), Role::Harness);
         assert_eq!(role_for("crates/hev-trace/src/sink.rs"), Role::Harness);
         assert_eq!(role_for("crates/hev-trace/src/registry.rs"), Role::Library);
+        assert_eq!(role_for("crates/hev-serve/src/driver.rs"), Role::Harness);
+        assert_eq!(role_for("crates/hev-serve/src/service.rs"), Role::Library);
         assert_eq!(role_for("crates/core/src/sim.rs"), Role::Library);
         assert_eq!(role_for("src/lib.rs"), Role::Library);
     }

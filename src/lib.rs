@@ -8,7 +8,9 @@
 //! * [`rl`] — tabular reinforcement learning ([`hev_rl`]);
 //! * [`predict`] — driving-profile predictors ([`hev_predict`]);
 //! * [`control`] — the joint controller, baselines, and harness
-//!   ([`hev_control`]).
+//!   ([`hev_control`]);
+//! * [`serve`] — the fault-hardened fleet control service
+//!   ([`hev_serve`]).
 //!
 //! # Quickstart
 //!
@@ -33,3 +35,4 @@ pub use hev_control as control;
 pub use hev_model as model;
 pub use hev_predict as predict;
 pub use hev_rl as rl;
+pub use hev_serve as serve;
