@@ -91,6 +91,7 @@ impl SessionStats {
         match verdict {
             Verdict::Served { rung, .. } => {
                 self.served += 1;
+                // hevlint::allow(panic::reachable-from-serve, Rung::index() is 0..4 by construction into a [u64; 4])
                 self.rungs[rung.index()] += 1;
             }
             Verdict::Shed { .. } => self.shed += 1,
@@ -200,6 +201,18 @@ fn request_event(req: &Request) -> String {
 /// admitted `(slot, request)` queue.
 type SessionBatch = (u64, Session, Vec<(usize, Request)>);
 
+/// Stores `response` at stream slot `slot`. Slots are sized to the
+/// request count and slot ids come from stream position (never from a
+/// client-supplied field), so the write is always in range; `get_mut`
+/// keeps the path panic-free regardless, and a hole left by an
+/// out-of-range id would still be caught by the final
+/// every-request-answered check.
+fn place(slots: &mut [Option<Response>], slot: usize, response: Response) {
+    if let Some(s) = slots.get_mut(slot) {
+        *s = Some(response);
+    }
+}
+
 /// Serves `requests` (in order) against the fleet described by
 /// `sessions`, returning one response per request plus per-session
 /// degradation statistics. See the module docs for the tick pipeline
@@ -234,11 +247,15 @@ pub fn serve(
             let slot = tick_index * tick + offset;
             if !table.contains_key(&req.session) {
                 unknown_session += 1;
-                slots[slot] = Some(Response {
-                    index: req.index,
-                    session: req.session,
-                    verdict: Verdict::Error(RequestError::UnknownSession),
-                });
+                place(
+                    &mut slots,
+                    slot,
+                    Response {
+                        index: req.index,
+                        session: req.session,
+                        verdict: Verdict::Error(RequestError::UnknownSession),
+                    },
+                );
                 continue;
             }
             let queue = queues.entry(req.session).or_default();
@@ -247,11 +264,15 @@ pub fn serve(
                 if let Some(s) = stats.get_mut(&req.session) {
                     s.record(&verdict);
                 }
-                slots[slot] = Some(Response {
-                    index: req.index,
-                    session: req.session,
-                    verdict,
-                });
+                place(
+                    &mut slots,
+                    slot,
+                    Response {
+                        index: req.index,
+                        session: req.session,
+                        verdict,
+                    },
+                );
             } else {
                 queue.push((slot, *req));
             }
@@ -286,11 +307,15 @@ pub fn serve(
                         if let Some(s) = stats.get_mut(&id_back) {
                             s.record(&verdict);
                         }
-                        slots[slot] = Some(Response {
-                            index,
-                            session: id_back,
-                            verdict,
-                        });
+                        place(
+                            &mut slots,
+                            slot,
+                            Response {
+                                index,
+                                session: id_back,
+                                verdict,
+                            },
+                        );
                     }
                 }
                 RunOutcome::Panicked { message } => {
@@ -360,11 +385,15 @@ pub fn serve(
                             None => Verdict::Error(RequestError::UnknownSession),
                         };
                         stat.record(&verdict);
-                        slots[*slot] = Some(Response {
-                            index: req.index,
-                            session: id,
-                            verdict,
-                        });
+                        place(
+                            &mut slots,
+                            *slot,
+                            Response {
+                                index: req.index,
+                                session: id,
+                                verdict,
+                            },
+                        );
                     }
                     if let Some(live) = session {
                         table.insert(id, live);
@@ -376,7 +405,7 @@ pub fn serve(
 
     let responses: Vec<Response> = slots
         .into_iter()
-        // hevlint::allow(panic::expect, every admitted request is placed exactly once by construction (unknown-session answer, shed, batch verdict, or quarantine replay); a hole would be a service bug, never a request-reachable state)
+        // hevlint::allow(panic, every admitted request is placed exactly once by construction (unknown-session answer, shed, batch verdict, or quarantine replay); a hole would be a service bug, never a request-reachable state)
         .map(|slot| slot.expect("request left without a response"))
         .collect();
     Ok(ServeOutput {

@@ -127,7 +127,7 @@ impl Session {
             });
         }
         if req.crash {
-            // hevlint::allow(panic::macro, chaos-mode fault injection: this deliberate panic exercises the quarantine path and is always caught by the shard executor's run_indexed_caught)
+            // hevlint::allow(panic, chaos-mode fault injection: this deliberate panic exercises the quarantine path and is always caught by the shard executor's run_indexed_caught)
             panic!(
                 "chaos: injected session crash (session {}, request {})",
                 req.session, req.index

@@ -1,0 +1,236 @@
+//! Findings baselines: incremental adoption for new rule families.
+//!
+//! A baseline file records accepted findings as
+//! `(rule, file, snippet)` triples — deliberately **not** line
+//! numbers, so unrelated edits above a recorded finding do not
+//! invalidate it. `--baseline PATH` suppresses exactly the recorded
+//! multiset (a second identical violation in the same file still
+//! fires); `HEVLINT_BLESS=1` rewrites the file from the current
+//! findings. CI diffs the regenerated report against the committed
+//! baseline and fails on any new finding, so the recorded debt can
+//! only shrink.
+
+use crate::diagnostics::Finding;
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Trimmed source line of the finding at record time.
+    pub snippet: String,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Accepted findings (a multiset: duplicates each cover one
+    /// occurrence).
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON produced by [`to_json`]. The parser is
+    /// a tolerant hand-rolled scan (matching the writer below), so the
+    /// linter stays dependency-free.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for line in src.lines() {
+            let line = line.trim().trim_end_matches(',');
+            // Entry lines carry a rule field; the header/footer lines
+            // (`{"version":1,"entries":[` / `]}`) do not.
+            if !line.starts_with('{') || !line.contains("\"rule\":\"") {
+                continue;
+            }
+            let rule = field(line, "rule");
+            let file = field(line, "file");
+            let snippet = field(line, "snippet");
+            match (rule, file, snippet) {
+                (Some(rule), Some(file), Some(snippet)) => entries.push(Entry {
+                    rule,
+                    file,
+                    snippet,
+                }),
+                _ => return Err(format!("unparseable baseline entry: {line}")),
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits findings into (kept, suppressed-count), consuming each
+    /// baseline entry at most once. Returns the number of stale
+    /// entries (recorded findings that no longer occur) as the third
+    /// element, so blessing can be suggested.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize, usize) {
+        let mut remaining: Vec<&Entry> = self.entries.iter().collect();
+        let mut kept = Vec::with_capacity(findings.len());
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = remaining
+                .iter()
+                .position(|e| e.rule == f.rule && e.file == f.file && e.snippet == f.snippet);
+            match hit {
+                Some(idx) => {
+                    remaining.swap_remove(idx);
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        (kept, suppressed, remaining.len())
+    }
+}
+
+/// Extracts `"key":"value"` from a single-line JSON object, unescaping
+/// the writer's escapes.
+fn field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let esc = bytes.get(i + 1)?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = line.get(i + 2..i + 6)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+                continue;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full char.
+                let s = &line[i..];
+                let c = s.chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+                continue;
+            }
+        }
+    }
+    None
+}
+
+/// Renders findings as a baseline file (sorted, deduplicated only by
+/// identity — true duplicates are kept so the multiset round-trips).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut entries: Vec<(&str, &str, &str)> = findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.snippet.as_str()))
+        .collect();
+    entries.sort_unstable();
+    let mut out = String::from("{\"version\":1,\"entries\":[");
+    for (k, (rule, file, snippet)) in entries.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":\"");
+        escape(rule, &mut out);
+        out.push_str("\",\"file\":\"");
+        escape(file, &mut out);
+        out.push_str("\",\"snippet\":\"");
+        escape(snippet, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(if entries.is_empty() { "]}\n" } else { "\n]}\n" });
+    out
+}
+
+fn escape(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            snippet: snippet.into(),
+            severity: Severity::Deny,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_suppresses_multiset() {
+        let fs = vec![
+            finding("panic::unwrap", "a.rs", "x.unwrap();"),
+            finding("panic::unwrap", "a.rs", "x.unwrap();"),
+            finding("float::eq", "b.rs", "x == 0.5"),
+        ];
+        let json = to_json(&fs);
+        let b = Baseline::parse(&json).unwrap();
+        assert_eq!(b.entries.len(), 3);
+        // All three suppressed; a fourth identical unwrap would fire.
+        let mut four = fs.clone();
+        four.push(finding("panic::unwrap", "a.rs", "x.unwrap();"));
+        let (kept, suppressed, stale) = b.apply(four);
+        assert_eq!(suppressed, 3);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(stale, 0);
+    }
+
+    #[test]
+    fn stale_entries_are_counted() {
+        let b =
+            Baseline::parse(&to_json(&[finding("panic::unwrap", "gone.rs", "old();")])).unwrap();
+        let (kept, suppressed, stale) = b.apply(vec![]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 0);
+        assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn line_changes_do_not_invalidate_entries() {
+        let b =
+            Baseline::parse(&to_json(&[finding("panic::unwrap", "a.rs", "x.unwrap();")])).unwrap();
+        let mut moved = finding("panic::unwrap", "a.rs", "x.unwrap();");
+        moved.line = 99;
+        let (kept, suppressed, _) = b.apply(vec![moved]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let f = finding("hygiene::print", "a.rs", "println!(\"x\\ty\");");
+        let b = Baseline::parse(&to_json(std::slice::from_ref(&f))).unwrap();
+        assert_eq!(b.entries[0].snippet, "println!(\"x\\ty\");");
+        let (kept, suppressed, _) = b.apply(vec![f]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+}

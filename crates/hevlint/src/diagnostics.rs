@@ -84,13 +84,19 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
 }
 
 /// Renders the full machine-readable report (findings + summary).
-pub fn report_to_json(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
-    let mut out = String::from("{\"version\":1,\"findings\":");
-    out.push_str(&findings_to_json(findings));
+/// Version 2 adds the workspace-crate count and the count of findings
+/// absorbed by the loaded baseline to the summary block.
+pub fn report_to_json(report: &crate::Report) -> String {
+    let mut out = String::from("{\"version\":2,\"findings\":");
+    out.push_str(&findings_to_json(&report.findings));
     let _ = write!(
         out,
-        ",\"summary\":{{\"files_scanned\":{files_scanned},\"findings\":{},\"suppressed\":{suppressed}}}}}",
-        findings.len()
+        ",\"summary\":{{\"files_scanned\":{},\"crates\":{},\"findings\":{},\"suppressed\":{},\"baseline_suppressed\":{}}}}}",
+        report.files_scanned,
+        report.crates,
+        report.findings.len(),
+        report.suppressed,
+        report.baseline_suppressed
     );
     out
 }
@@ -135,8 +141,18 @@ mod tests {
 
     #[test]
     fn report_wraps_summary() {
-        let j = report_to_json(&[], 12, 3);
+        let r = crate::Report {
+            files_scanned: 12,
+            crates: 9,
+            suppressed: 3,
+            baseline_suppressed: 2,
+            ..crate::Report::default()
+        };
+        let j = report_to_json(&r);
+        assert!(j.contains("\"version\":2"));
         assert!(j.contains("\"files_scanned\":12"));
+        assert!(j.contains("\"crates\":9"));
         assert!(j.contains("\"suppressed\":3"));
+        assert!(j.contains("\"baseline_suppressed\":2"));
     }
 }

@@ -135,15 +135,13 @@ pub fn covers(directive_rule: &str, finding_rule: &str) -> bool {
             .is_some_and(|rest| rest.starts_with("::"))
 }
 
-/// Applies directives to findings: matching findings are removed (and
-/// counted), then unused directives are reported as
-/// `directive::unused-allow` warnings.
-pub fn apply(
-    directives: &mut [Directive],
-    findings: Vec<Finding>,
-    file: &str,
-    lines: &[&str],
-) -> (Vec<Finding>, usize) {
+/// Removes findings covered by a directive on their line, marking the
+/// directive used. Callable more than once (e.g. once for the local
+/// pass and once for workspace-pass findings); staleness is reported
+/// separately by [`stale`] only after every pass has run, so a
+/// family-prefix allow consumed by *any* member rule — including a
+/// workspace rule — is never reported stale.
+pub fn suppress(directives: &mut [Directive], findings: Vec<Finding>) -> (Vec<Finding>, usize) {
     let mut kept = Vec::with_capacity(findings.len());
     let mut suppressed = 0usize;
     for f in findings {
@@ -160,8 +158,16 @@ pub fn apply(
             kept.push(f);
         }
     }
-    for d in directives.iter().filter(|d| !d.used) {
-        kept.push(Finding {
+    (kept, suppressed)
+}
+
+/// Reports directives that suppressed nothing across all passes as
+/// `directive::unused-allow` warnings.
+pub fn stale(directives: &[Directive], file: &str, lines: &[&str]) -> Vec<Finding> {
+    directives
+        .iter()
+        .filter(|d| !d.used)
+        .map(|d| Finding {
             rule: "directive::unused-allow",
             file: file.to_string(),
             line: d.comment_line,
@@ -171,8 +177,20 @@ pub fn apply(
                 "directive for `{}` suppresses nothing (targets line {})",
                 d.rule, d.target_line
             ),
-        });
-    }
+        })
+        .collect()
+}
+
+/// Applies directives to findings in one shot: [`suppress`] followed by
+/// [`stale`]. Single-pass callers (per-file linting) use this.
+pub fn apply(
+    directives: &mut [Directive],
+    findings: Vec<Finding>,
+    file: &str,
+    lines: &[&str],
+) -> (Vec<Finding>, usize) {
+    let (mut kept, suppressed) = suppress(directives, findings);
+    kept.extend(stale(directives, file, lines));
     (kept, suppressed)
 }
 

@@ -128,6 +128,14 @@ impl Lexer<'_> {
     }
 
     fn run(mut self) -> LexOutput {
+        // A shebang line (`#!/usr/bin/env …`) is valid at the very
+        // start of a Rust source file and is not tokens; `#![attr]`
+        // inner attributes are NOT shebangs and must still lex.
+        if self.b.starts_with(b"#!") && self.peek(2) != b'[' {
+            while self.i < self.b.len() && self.b[self.i] != b'\n' {
+                self.i += 1;
+            }
+        }
         while self.i < self.b.len() {
             let c = self.b[self.i];
             match c {
@@ -482,6 +490,57 @@ mod tests {
         assert!(out.tokens.iter().all(|t| !t.kind.is_ident("panic")));
         assert!(out.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
         assert!(out.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let out = lex("fn r#type(r#match: u32) -> u32 { r#match }");
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind.is_ident("type"))
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind.is_ident("match"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn shebang_line_is_skipped_but_inner_attr_is_not() {
+        let out = lex("#!/usr/bin/env run-cargo-script\nlet x = 1;\n");
+        assert!(!out.tokens.iter().any(|t| t.kind.is_ident("usr")));
+        assert_eq!(out.tokens[0].kind, TokenKind::Ident("let".into()));
+        assert_eq!(out.tokens[0].line, 2);
+        // `#![attr]` at file start is an inner attribute, not a shebang.
+        let attr = lex("#![forbid(unsafe_code)]\n");
+        assert!(attr.tokens.iter().any(|t| t.kind.is_ident("forbid")));
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char_literal() {
+        let out = lex("fn f(s: &'static str) -> char { 's' }");
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+        // The lifetime must not swallow `static str) -> char {`.
+        assert!(out.tokens.iter().any(|t| t.kind.is_ident("char")));
     }
 
     #[test]

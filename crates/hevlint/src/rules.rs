@@ -129,6 +129,36 @@ pub const RULES: &[RuleInfo] = &[
         desc: "crate roots (src/lib.rs) must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
     },
     RuleInfo {
+        id: "arch::layering",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "crate dependencies must respect the declared layering (hev-model below hev-control below hev-serve; hevlint and hev-trace depend on nothing; vendored crates are leaves)",
+    },
+    RuleInfo {
+        id: "panic::reachable-from-serve",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "no unwrap/expect/panic!/unreachable!/indexing reachable within N call-graph hops of a hev-serve request-handling entry point",
+    },
+    RuleInfo {
+        id: "determinism::taint",
+        severity: Severity::Deny,
+        opt_in: false,
+        desc: "library code must not call (within 2 hops) a function whose body reads wall-clock/entropy/environment or iterates a hash collection",
+    },
+    RuleInfo {
+        id: "hygiene::dead-pub",
+        severity: Severity::Warn,
+        opt_in: false,
+        desc: "a plain-pub item referenced nowhere else in the workspace (tests included) should be private or removed",
+    },
+    RuleInfo {
+        id: "hygiene::missing-docs",
+        severity: Severity::Warn,
+        opt_in: false,
+        desc: "every plain-pub fn carries a doc comment (extends rustc missing_docs into private modules)",
+    },
+    RuleInfo {
         id: "directive::malformed",
         severity: Severity::Deny,
         opt_in: false,
@@ -158,6 +188,131 @@ pub fn known_rule(name: &str) -> bool {
     })
 }
 
+/// Long-form documentation for one rule: rationale, a minimal
+/// violating example, and the expected fix. Printed by `--explain`.
+#[derive(Debug, Clone, Copy)]
+pub struct Explain {
+    /// Why the rule exists in *this* workspace.
+    pub rationale: &'static str,
+    /// A minimal violating example.
+    pub example: &'static str,
+    /// How violations are expected to be fixed.
+    pub fix: &'static str,
+}
+
+/// Returns the `--explain` text for a rule id, if the rule exists.
+pub fn explain(id: &str) -> Option<Explain> {
+    let e = match id {
+        "determinism::hash-collection" => Explain {
+            rationale: "HashMap/HashSet iteration order depends on the hasher's per-process seed, so any serialization, reduction, or tie-break that walks one diverges between runs and breaks the bit-identical --jobs contract.",
+            example: "let mut m: HashMap<State, f64> = HashMap::new();\nfor (k, v) in &m { write(k, v); }",
+            fix: "Use BTreeMap/BTreeSet (ordered, deterministic) or collect-and-sort before iterating.",
+        },
+        "determinism::wall-clock" => Explain {
+            rationale: "Instant/SystemTime/thread_rng/from_entropy read machine state, so two runs of the same seed can diverge; only the harness/bench timing layer is allowed to measure wall time.",
+            example: "let t0 = Instant::now(); // in crates/hev-model",
+            fix: "Thread time/randomness in as explicit parameters (seeded RNG, virtual eval-count time), or move the measurement into the harness layer.",
+        },
+        "determinism::env-read" => Explain {
+            rationale: "Environment reads make a run's output a function of the host, which silently breaks reproduction of the paper's tables across machines and CI.",
+            example: "let jobs = std::env::var(\"JOBS\").ok();",
+            fix: "Accept configuration through function parameters or CLI flags parsed in the harness layer.",
+        },
+        "determinism::taint" => Explain {
+            rationale: "The local wall-clock/env rules are waived inside the harness role, but a library function that *calls into* that waived code inherits its nondeterminism; the call-graph pass propagates source taint one-two hops so the waiver cannot leak back into library code.",
+            example: "// crates/hev-model (library role)\nfn step() { let dt = bench_timer_elapsed(); } // bench_timer_elapsed reads Instant",
+            fix: "Invert the dependency: let the harness measure and pass results down, or move the caller into the harness role with a justified allow.",
+        },
+        "panic::unwrap" => Explain {
+            rationale: "A panicking control path aborts the whole episode wave and, on the serve path, a whole session shard; library code must degrade through typed errors instead.",
+            example: "let gear = table.get(&state).unwrap();",
+            fix: "Propagate a typed error (?, let-else) or, for a proven invariant, keep the unwrap with `// hevlint::allow(panic::unwrap, <why it cannot fail>)`.",
+        },
+        "panic::expect" => Explain {
+            rationale: "Same failure mode as panic::unwrap: .expect() turns a recoverable condition into an abort; the message string does not make the abort safer.",
+            example: "let cfg = load().expect(\"config present\");",
+            fix: "Return a typed error, or justify the invariant with an allow directive.",
+        },
+        "panic::macro" => Explain {
+            rationale: "panic!/unreachable! abort the episode; the supervisor's degradation ladder can only catch what is expressed as a typed error. assert! is allowed because it states an invariant the tests exercise.",
+            example: "match mode { Known(m) => step(m), _ => unreachable!() }",
+            fix: "Degrade through a typed error (or a documented fallback control), reserving unreachable! for provably dead arms with an allow directive.",
+        },
+        "panic::indexing" => Explain {
+            rationale: "xs[i] panics on out-of-range; in hot library loops the bound is usually provable, so this rule is opt-in (--strict-indexing) rather than part of the default gate.",
+            example: "let q = table[state_index];",
+            fix: "Use .get()/.get_mut() with an explicit fallback, or keep the indexing where the bound is structural.",
+        },
+        "panic::reachable-from-serve" => Explain {
+            rationale: "hev-serve's contract is that hostile requests produce typed errors, never panics (DESIGN §12). A panic site N call-graph hops below a request-handling entry point is part of that attack surface even when it sits in another crate; this pass mechanizes the PR-8 hostile-panic audit.",
+            example: "// crates/hev-serve\npub fn process(req: &Request) { helper(req.soc); }\n// crates/core\nfn helper(soc: f64) { let g = GEARS[idx(soc)]; } // idx can overflow",
+            fix: "Convert the reachable site to a typed-error path (.get(), let-else), or justify the invariant on that line with `// hevlint::allow(panic::reachable-from-serve, <why hostile input cannot reach it>)`.",
+        },
+        "float::eq" => Explain {
+            rationale: "Exact float equality against a literal is almost always a latent tolerance bug in physics code, and sentinel comparisons deserve a visible justification.",
+            example: "if soc == 0.4 { recharge(); }",
+            fix: "Compare with an explicit tolerance, or keep a true sentinel with an allow directive naming it.",
+        },
+        "float::lossy-cast" => Explain {
+            rationale: "as f32 halves precision and float→int as-casts truncate and saturate silently; both have caused table-lookup drift in energy models.",
+            example: "let idx = (soc * 100.0) as usize;",
+            fix: "Make rounding explicit (.round()/.floor() with bounds) and keep intermediate math in f64.",
+        },
+        "hygiene::print" => Explain {
+            rationale: "Library prints interleave nondeterministically under --jobs N and corrupt the byte-compared stdout; all reporting flows through the harness/report layer.",
+            example: "println!(\"step {step}: soc={soc}\");",
+            fix: "Return data to the caller or record it through hev-trace; only harness-role code prints.",
+        },
+        "hygiene::dbg" => Explain {
+            rationale: "dbg! is a debugging leftover that prints to stderr and returns its argument — both effects are unwanted in committed code anywhere.",
+            example: "let r = dbg!(reward);",
+            fix: "Delete it (or replace with a hev-trace metric if the value matters).",
+        },
+        "hygiene::todo" => Explain {
+            rationale: "todo!/unimplemented! are panics with a friendlier name; committed code must not contain known-unfinished paths.",
+            example: "fn charge_depleting() { todo!() }",
+            fix: "Implement the path or remove the stub.",
+        },
+        "hygiene::dead-pub" => Explain {
+            rationale: "A plain-pub item that nothing else in the workspace (tests and examples included) references is unauditable API surface: rustc's dead_code lint cannot see across crates, so it rots silently.",
+            example: "pub fn legacy_entry() {} // no other file mentions legacy_entry",
+            fix: "Make it private/pub(crate), delete it, or — for genuinely external API — keep it with `// hevlint::allow(hygiene::dead-pub, <who consumes it>)`.",
+        },
+        "hygiene::missing-docs" => Explain {
+            rationale: "rustc's missing_docs lint stops at private modules; this extends the workspace's #![warn(missing_docs)] discipline to every plain-pub fn a reader can reach in source.",
+            example: "pub fn admit(req: &Request) -> Verdict { … } // no /// above",
+            fix: "Add a /// doc comment stating contract and failure modes.",
+        },
+        "headers::crate-lints" => Explain {
+            rationale: "Uniform crate roots guarantee the whole workspace forbids unsafe code and warns on undocumented public API, so a new crate cannot silently opt out.",
+            example: "// src/lib.rs without #![forbid(unsafe_code)]",
+            fix: "Add #![forbid(unsafe_code)] and #![warn(missing_docs)] at the top of src/lib.rs.",
+        },
+        "arch::layering" => Explain {
+            rationale: "The crate DAG is a contract: hev-model must stay below hev-control/hev-serve so the physics stays reusable and the serve path's trust boundary is auditable; hevlint and hev-trace depend on nothing so they build first; vendored stand-ins are leaves. A dependency edge that violates the table couples layers the tests assume independent.",
+            example: "# crates/hev-model/Cargo.toml\n[dependencies]\nhev-control = { workspace = true }",
+            fix: "Invert the dependency (move the shared type down, or callback up); layering violations are not allow-listable in source — change the architecture or the declared table in hevlint::workspace.",
+        },
+        "directive::malformed" => Explain {
+            rationale: "An exception without a parseable (rule, reason) pair is an exception without an audit trail.",
+            example: "// hevlint::allow(panic::unwrap)",
+            fix: "Write `// hevlint::allow(rule, reason)` with a non-empty reason.",
+        },
+        "directive::unknown-rule" => Explain {
+            rationale: "A directive naming a non-existent rule suppresses nothing and usually hides a typo that leaves a real finding unsuppressed.",
+            example: "// hevlint::allow(panic::unwarp, oops)",
+            fix: "Name an existing rule id or family (see --list-rules).",
+        },
+        "directive::unused-allow" => Explain {
+            rationale: "A directive that suppresses nothing is a stale exception; left in place it pre-authorizes a future violation nobody reviewed. A family-prefix allow counts as used when *any* member rule—including workspace-pass rules like panic::reachable-from-serve—consumes it.",
+            example: "// hevlint::allow(panic::unwrap, fixed long ago)\nlet v = compute();",
+            fix: "Delete the directive (it is re-addable with a fresh reason if the violation returns).",
+        },
+        _ => return None,
+    };
+    Some(e)
+}
+
 /// Integer types for the lossy-cast rule.
 const INT_TYPES: &[&str] = &[
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
@@ -170,7 +325,7 @@ const TRUNCATING_METHODS: &[&str] = &["ceil", "floor", "round", "trunc"];
 /// `#[cfg(test)]` / `#[cfg(any(.., test, ..))]` or a `#[test]` function.
 /// The item is skipped up to its matching close brace (or `;` for
 /// brace-less items such as gated `use` statements).
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -232,8 +387,8 @@ fn test_mask(tokens: &[Token]) -> Vec<bool> {
 }
 
 /// Marks tokens inside `#[...]` / `#![...]` attribute groups, so the
-/// indexing rule doesn't fire on attribute brackets.
-fn attr_mask(tokens: &[Token]) -> Vec<bool> {
+/// indexing rules don't fire on attribute brackets.
+pub fn attr_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {

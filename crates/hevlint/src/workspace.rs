@@ -1,0 +1,406 @@
+//! The workspace model: crate manifests, the dependency graph, and the
+//! `arch::layering` rule.
+//!
+//! hevlint reads every `Cargo.toml` under the root, `crates/`, and
+//! `vendor/` with a deliberately minimal TOML scan (sections and
+//! `key = value` lines — the only shapes these manifests use), and
+//! checks the resulting crate graph against a declared layering table:
+//!
+//! - `hevlint` and `hev-trace` depend on **nothing** (they build first
+//!   in a cold workspace);
+//! - `hev-model` sits below the controller: it may use `hev-trace` and
+//!   `serde`, never `hev-control`/`hev-serve`;
+//! - `hev-control` may use the model/predictor/RL layers, never
+//!   `hev-serve` or `hev-bench`;
+//! - `hev-serve` sits on top of the controller;
+//! - vendored stand-ins are **leaves**: they may depend on each other
+//!   but never on a `crates/` crate;
+//! - the bench harness and the umbrella crate are unconstrained tops.
+//!
+//! Beyond the manifest graph, every non-test `use` in a lint-scanned
+//! file is resolved to its root crate and checked against the same
+//! table, so a layering violation is reported at the offending `use`
+//! line too, not just in the manifest.
+
+use crate::diagnostics::{Finding, Severity};
+use std::path::Path;
+
+/// One dependency edge as written in a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Dependency key (the crate name as used in `use` paths, modulo
+    /// `-`/`_`).
+    pub name: String,
+    /// 1-based line of the dependency entry in the manifest.
+    pub line: u32,
+}
+
+/// One crate of the workspace.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `[package] name`.
+    pub name: String,
+    /// Workspace-relative directory (`crates/core`, `vendor/rand`,
+    /// `.` for the umbrella crate).
+    pub dir: String,
+    /// Workspace-relative manifest path.
+    pub manifest: String,
+    /// True for `vendor/` stand-ins.
+    pub vendored: bool,
+    /// `[dependencies]` entries (dev-dependencies are deliberately
+    /// excluded: layering constrains the shipped graph, and test-only
+    /// edges are already confined by cargo).
+    pub deps: Vec<Dep>,
+}
+
+/// The parsed workspace: all crates, discovery order sorted by dir.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every discovered crate.
+    pub crates: Vec<CrateInfo>,
+}
+
+/// Allowed `[dependencies]` for each constrained crate. `None` means
+/// unconstrained (the bench harness and umbrella crate sit at the top
+/// of the DAG and may use anything).
+pub fn allowed_deps(crate_name: &str) -> Option<&'static [&'static str]> {
+    match crate_name {
+        "hevlint" => Some(&[]),
+        "hev-trace" => Some(&[]),
+        "drive-cycle" => Some(&["rand", "serde"]),
+        "hev-model" => Some(&["hev-trace", "serde"]),
+        "hev-rl" => Some(&["rand", "serde"]),
+        "hev-predict" => Some(&["rand", "serde"]),
+        "hev-control" => Some(&[
+            "drive-cycle",
+            "hev-trace",
+            "hev-model",
+            "hev-rl",
+            "hev-predict",
+            "rand",
+            "serde",
+            "serde_json",
+        ]),
+        "hev-serve" => Some(&["hev-trace", "hev-model", "hev-control", "rand"]),
+        _ => None,
+    }
+}
+
+impl Workspace {
+    /// Discovers crates under `root` (the root manifest plus every
+    /// `crates/*/Cargo.toml` and `vendor/*/Cargo.toml`), in sorted
+    /// order so findings are deterministic.
+    pub fn discover(root: &Path) -> Workspace {
+        let mut ws = Workspace::default();
+        let mut dirs: Vec<(String, std::path::PathBuf)> =
+            vec![(".".to_string(), root.to_path_buf())];
+        for top in ["crates", "vendor"] {
+            let Ok(entries) = std::fs::read_dir(root.join(top)) else {
+                continue;
+            };
+            let mut subdirs: Vec<std::path::PathBuf> =
+                entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+            subdirs.sort();
+            for d in subdirs {
+                if d.is_dir() {
+                    let rel = format!(
+                        "{top}/{}",
+                        d.file_name().and_then(|n| n.to_str()).unwrap_or("")
+                    );
+                    dirs.push((rel, d));
+                }
+            }
+        }
+        for (rel_dir, dir) in dirs {
+            let manifest_path = dir.join("Cargo.toml");
+            let Ok(src) = std::fs::read_to_string(&manifest_path) else {
+                continue;
+            };
+            let manifest_rel = if rel_dir == "." {
+                "Cargo.toml".to_string()
+            } else {
+                format!("{rel_dir}/Cargo.toml")
+            };
+            if let Some(info) = parse_manifest(&src, &rel_dir, &manifest_rel) {
+                ws.crates.push(info);
+            }
+        }
+        ws
+    }
+
+    /// The crate a workspace-relative file path belongs to, if any.
+    pub fn crate_for_file<'a>(&'a self, rel_path: &str) -> Option<&'a CrateInfo> {
+        let p = rel_path.replace('\\', "/");
+        self.crates
+            .iter()
+            .filter(|c| c.dir != ".")
+            .find(|c| p.starts_with(&format!("{}/", c.dir)))
+            .or_else(|| self.crates.iter().find(|c| c.dir == "."))
+    }
+
+    /// Maps a `use`-path root identifier (`hev_model`) to the crate it
+    /// names, when that crate exists in this workspace.
+    pub fn crate_by_ident<'a>(&'a self, ident: &str) -> Option<&'a CrateInfo> {
+        self.crates
+            .iter()
+            .find(|c| c.name.replace('-', "_") == ident)
+    }
+
+    /// Checks the manifest graph against the layering table. Findings
+    /// are attributed to the manifest file and dependency line.
+    pub fn layering_findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for c in &self.crates {
+            let allowed = allowed_deps(&c.name);
+            for dep in &c.deps {
+                // Only workspace-known names are layered; external
+                // registry deps (none in this offline workspace) pass.
+                let Some(target) = self.crates.iter().find(|t| t.name == dep.name) else {
+                    continue;
+                };
+                if c.vendored && !target.vendored {
+                    out.push(layering_finding(
+                        &c.manifest,
+                        dep.line,
+                        format!(
+                            "vendored crate `{}` must stay a leaf: it may not depend on workspace crate `{}`",
+                            c.name, dep.name
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(allowed) = allowed {
+                    if !allowed.contains(&dep.name.as_str()) {
+                        out.push(layering_finding(
+                            &c.manifest,
+                            dep.line,
+                            format!(
+                                "`{}` may not depend on `{}` (allowed: {})",
+                                c.name,
+                                dep.name,
+                                if allowed.is_empty() {
+                                    "nothing".to_string()
+                                } else {
+                                    allowed.join(", ")
+                                }
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks one file's non-test `use` roots against the layering
+    /// table. `snippet` supplies the source line for the finding.
+    pub fn use_findings(
+        &self,
+        rel_path: &str,
+        uses: &[crate::parser::UseRoot],
+        snippet: impl Fn(u32) -> String,
+    ) -> Vec<Finding> {
+        let Some(own) = self.crate_for_file(rel_path) else {
+            return Vec::new();
+        };
+        let Some(allowed) = allowed_deps(&own.name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for u in uses {
+            if u.in_test {
+                continue;
+            }
+            let Some(target) = self.crate_by_ident(&u.root) else {
+                continue;
+            };
+            if target.name == own.name {
+                continue;
+            }
+            if !allowed.contains(&target.name.as_str()) {
+                out.push(Finding {
+                    rule: "arch::layering",
+                    file: rel_path.to_string(),
+                    line: u.line,
+                    snippet: snippet(u.line),
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` may not use `{}` (allowed: {})",
+                        own.name,
+                        target.name,
+                        if allowed.is_empty() {
+                            "nothing".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn layering_finding(manifest: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "arch::layering",
+        file: manifest.to_string(),
+        line,
+        snippet: String::new(),
+        severity: Severity::Deny,
+        message,
+    }
+}
+
+/// Parses the few manifest shapes this workspace uses: `[package]`
+/// `name`, and `[dependencies]` entries as either inline
+/// (`foo = { … }` / `foo = "1.0"`) or section
+/// (`[dependencies.foo]`) form.
+fn parse_manifest(src: &str, rel_dir: &str, manifest_rel: &str) -> Option<CrateInfo> {
+    let mut name: Option<String> = None;
+    let mut deps: Vec<Dep> = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                deps.push(Dep {
+                    name: dep.to_string(),
+                    line: line_no,
+                });
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        match section.as_str() {
+            "package" if key == "name" => {
+                name = Some(value.trim().trim_matches('"').to_string());
+            }
+            "dependencies" => deps.push(Dep {
+                name: key.to_string(),
+                line: line_no,
+            }),
+            _ => {}
+        }
+    }
+    Some(CrateInfo {
+        name: name?,
+        dir: rel_dir.to_string(),
+        manifest: manifest_rel.to_string(),
+        vendored: rel_dir.starts_with("vendor/"),
+        deps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parse_inline_and_section_deps() {
+        let src = "[package]\nname = \"hev-model\"\n\n[dependencies]\nhev-trace = { workspace = true }\nserde = { workspace = true }\n\n[dependencies.extra]\npath = \"../extra\"\n\n[dev-dependencies]\nproptest = { workspace = true }\n";
+        let c = parse_manifest(src, "crates/hev-model", "crates/hev-model/Cargo.toml").unwrap();
+        assert_eq!(c.name, "hev-model");
+        let names: Vec<&str> = c.deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["hev-trace", "serde", "extra"]);
+        assert!(!c.vendored);
+    }
+
+    #[test]
+    fn layering_flags_model_depending_on_control() {
+        let ws = Workspace {
+            crates: vec![
+                parse_manifest(
+                    "[package]\nname = \"hev-model\"\n[dependencies]\nhev-control = { workspace = true }\n",
+                    "crates/hev-model",
+                    "crates/hev-model/Cargo.toml",
+                )
+                .unwrap(),
+                parse_manifest(
+                    "[package]\nname = \"hev-control\"\n",
+                    "crates/core",
+                    "crates/core/Cargo.toml",
+                )
+                .unwrap(),
+            ],
+        };
+        let f = ws.layering_findings();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "arch::layering");
+        assert_eq!(f[0].file, "crates/hev-model/Cargo.toml");
+    }
+
+    #[test]
+    fn vendored_leaves_may_not_use_workspace_crates() {
+        let ws = Workspace {
+            crates: vec![
+                parse_manifest(
+                    "[package]\nname = \"rand\"\n[dependencies]\nhev-model = { path = \"../../crates/hev-model\" }\n",
+                    "vendor/rand",
+                    "vendor/rand/Cargo.toml",
+                )
+                .unwrap(),
+                parse_manifest(
+                    "[package]\nname = \"hev-model\"\n",
+                    "crates/hev-model",
+                    "crates/hev-model/Cargo.toml",
+                )
+                .unwrap(),
+            ],
+        };
+        let f = ws.layering_findings();
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("leaf"));
+    }
+
+    #[test]
+    fn vendored_may_depend_on_vendored() {
+        let ws = Workspace {
+            crates: vec![
+                parse_manifest(
+                    "[package]\nname = \"serde\"\n[dependencies]\nserde_derive = { path = \"../serde_derive\" }\n",
+                    "vendor/serde",
+                    "vendor/serde/Cargo.toml",
+                )
+                .unwrap(),
+                parse_manifest(
+                    "[package]\nname = \"serde_derive\"\n",
+                    "vendor/serde_derive",
+                    "vendor/serde_derive/Cargo.toml",
+                )
+                .unwrap(),
+            ],
+        };
+        assert!(ws.layering_findings().is_empty());
+    }
+
+    #[test]
+    fn crate_for_file_prefers_longest_then_umbrella() {
+        let ws = Workspace {
+            crates: vec![
+                parse_manifest("[package]\nname = \"umbrella\"\n", ".", "Cargo.toml").unwrap(),
+                parse_manifest(
+                    "[package]\nname = \"hev-model\"\n",
+                    "crates/hev-model",
+                    "crates/hev-model/Cargo.toml",
+                )
+                .unwrap(),
+            ],
+        };
+        assert_eq!(
+            ws.crate_for_file("crates/hev-model/src/lib.rs")
+                .unwrap()
+                .name,
+            "hev-model"
+        );
+        assert_eq!(ws.crate_for_file("src/lib.rs").unwrap().name, "umbrella");
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env run-cargo-script
+// Lexer-hardening regression fixture: a shebang line, raw identifiers,
+// and the `'static`-vs-char-literal ambiguity. None of this is a
+// finding; a lexer regression would corrupt the token stream and
+// fabricate findings from the decoy strings below.
+
+/// Raw identifiers are ordinary identifiers to every rule.
+fn r#type(r#match: &'static str) -> char {
+    let decoy = "x.unwrap() and Instant::now() stay inside this string";
+    let first = decoy.chars().next().unwrap_or('?');
+    if r#match.is_empty() {
+        return first;
+    }
+    's'
+}

@@ -1,0 +1,37 @@
+//! Public-API audit fixture: one used export, one dead export, one
+//! undocumented dead export, and a dead public struct.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Referenced from `main.rs`, so the audit keeps it.
+pub fn used_helper(x: f64) -> f64 {
+    x * 2.0
+}
+
+/// Documented but referenced nowhere else in the corpus.
+pub fn dead_helper(x: f64) -> f64 {
+    x + 1.0
+}
+
+pub fn undocumented(x: f64) -> f64 {
+    x - 1.0
+}
+
+/// Referenced by no other file.
+pub struct DeadConfig {
+    /// Horizon length in steps.
+    pub horizon: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-only pub items are outside the audit's scope.
+    pub fn exempt() -> usize {
+        1
+    }
+
+    #[test]
+    fn exempt_is_callable() {
+        assert_eq!(exempt(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Binary that consumes exactly one of the library's exports.
+
+fn main() {
+    let y = used_helper(21.0);
+    let _ = y;
+}

@@ -1,0 +1,12 @@
+//! Control layer of the layering fixture: the crate `hev-model` is
+//! not allowed to reach.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+fn gain() -> f64 {
+    1.25
+}
+
+fn headroom(x: f64) -> f64 {
+    gain() * x
+}

@@ -1,0 +1,13 @@
+//! Model layer of the layering fixture: deliberately depends upward on
+//! the controller, violating `arch::layering` in both the manifest and
+//! a `use`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hev_control::headroom;
+// hevlint::allow(arch, fixture: a family allow consumed only by a workspace-pass rule must not be reported stale)
+use hev_control::gain;
+
+fn scaled(x: f64) -> f64 {
+    gain() + headroom(x)
+}

@@ -1,0 +1,36 @@
+//! Control layer of the reachability fixture: a one-hop panic path, a
+//! two-hop path covered by a family allow, a three-hop path outside the
+//! default budget, and indexing below depth 0 (never reported).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+struct Table;
+
+impl Table {
+    fn best(&self, s: usize) -> f64 {
+        let probe = lookup(s).unwrap();
+        probe + self.argmax(s)
+    }
+
+    fn argmax(&self, s: usize) -> f64 {
+        // hevlint::allow(panic, fixture: invariant covered for both the local rule and the workspace reachability rule)
+        let v = lookup(s).unwrap();
+        deeper(v, s)
+    }
+}
+
+fn lookup(s: usize) -> Option<f64> {
+    if s > 0 {
+        Some(1.0)
+    } else {
+        None
+    }
+}
+
+fn deeper(v: f64, s: usize) -> f64 {
+    let table = [0.0, 1.0, 2.0];
+    if v.is_nan() {
+        panic!("three hops from the entry: outside the default reachability budget");
+    }
+    v + table[s % table.len()]
+}

@@ -1,0 +1,12 @@
+//! Serve layer of the reachability fixture: every library fn here is a
+//! reachability entry point.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+fn handle(q: &Table, s: usize) -> f64 {
+    Table::best(q, s)
+}
+
+fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

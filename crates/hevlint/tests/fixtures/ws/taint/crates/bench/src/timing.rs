@@ -1,0 +1,17 @@
+//! Harness-role timing helpers for the taint fixture: the clock read
+//! is legal here, but library code must not call into it.
+
+fn now_ms() -> u64 {
+    let _ = Instant::now();
+    0
+}
+
+fn stamp() -> u64 {
+    now_ms()
+}
+
+fn report() -> u64 {
+    // Harness callers of tainted fns are fine: the rule only guards
+    // the library role.
+    stamp()
+}

@@ -1,0 +1,17 @@
+//! Library layer of the taint fixture: one fn calls a direct clock
+//! source, another calls it through one hop — both leak
+//! nondeterminism into the library role.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+fn step_direct() -> u64 {
+    now_ms()
+}
+
+fn step_wrapped() -> u64 {
+    stamp()
+}
+
+fn pure(x: u64) -> u64 {
+    x + step_direct() + step_wrapped()
+}

@@ -198,6 +198,16 @@ const CASES: &[Case] = &[
         strict: false,
         suppressed: 0,
     },
+    // Lexer hardening: shebang line, r# raw identifiers, 'static
+    // lifetimes, and string literals holding decoy violations must all
+    // lex cleanly — the golden pins zero findings.
+    Case {
+        fixture: "lexer_hardening.rs",
+        golden: "lexer_hardening.json",
+        rel_path: "crates/fixtures/src/lexer_hardening.rs",
+        strict: true,
+        suppressed: 0,
+    },
 ];
 
 fn testdata(sub: &str, name: &str) -> PathBuf {
@@ -212,6 +222,7 @@ fn run_case(case: &Case) -> (String, usize) {
         .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", case.fixture));
     let opts = Options {
         strict_indexing: case.strict,
+        ..Options::default()
     };
     let (findings, suppressed) = lint_source(case.rel_path, &src, &opts);
     (findings_to_json(&findings), suppressed)

@@ -106,7 +106,7 @@ impl QTable {
                 best = Some((a, v));
             }
         }
-        // hevlint::allow(panic::expect, documented invariant: see the # Panics section; masks come from the action-feasibility layer which always leaves one action)
+        // hevlint::allow(panic, documented invariant: see the # Panics section; masks come from the action-feasibility layer which always leaves one action)
         best.expect("at least one action must be eligible").0
     }
 
