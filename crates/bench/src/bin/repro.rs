@@ -22,7 +22,8 @@
 //!   ablation-predictor      EWMA vs MA vs Markov vs MLP
 //!   robustness              fault-severity degradation sweep (supervised)
 //!   serve-bench             deterministic fleet-serving benchmark (hev-serve)
-//!   all                     everything above except serve-bench
+//!   profile                 deterministic span profile of the full stack
+//!   all                     everything above except serve-bench and profile
 //! ```
 //!
 //! `--checkpoint-dir` enables crash-tolerant training for the
@@ -58,6 +59,17 @@
 //! degradation ladder lands in `serve_degradation.csv`, and
 //! `--metrics-prom` exposes the serve counters in Prometheus format.
 //!
+//! The `profile` target runs the profiled three-phase workload
+//! (training fan-out, DP reference sweep, serve fleet) under the
+//! deterministic span profiler, prints the per-phase attribution table,
+//! and fails when the tree's virtual-time total does not reconcile
+//! exactly with the independent `hev_trace::evals` counters.
+//! `--profile-json` writes the span tree (byte-identical at every
+//! `--jobs` value — CI `cmp`s jobs 1 vs 4); `--profile-trace` writes a
+//! Chrome `trace_event` file loadable in Perfetto. With `--trace` the
+//! causal per-request serve traces land in the trace JSONL, and with
+//! `--metrics-prom` the per-phase eval histograms join the exposition.
+//!
 //! `--wave N` steps N independent runs of each experiment-grid cell in
 //! lockstep on one worker, sharing every timestep's precomputed
 //! evaluation context and fusing the lanes' candidate evaluations into
@@ -69,6 +81,7 @@
 use hev_bench::ablations;
 use hev_bench::experiments::{self, ExperimentConfig};
 use hev_bench::perf::{self, StepThroughputReport};
+use hev_bench::profile;
 use hev_bench::robustness::{self, CheckpointOptions};
 use hev_control::harness::{runlog, RunEvent, RunLog};
 use hev_control::{RunTelemetry, TelemetryConfig};
@@ -101,6 +114,8 @@ fn main() -> ExitCode {
     let mut serve_shards: usize = 1;
     let mut serve_out: Option<PathBuf> = None;
     let mut serve_report: Option<PathBuf> = None;
+    let mut profile_json: Option<PathBuf> = None;
+    let mut profile_trace: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -178,6 +193,14 @@ fn main() -> ExitCode {
             "--serve-report" => match args.next() {
                 Some(path) => serve_report = Some(PathBuf::from(path)),
                 None => return usage("--serve-report needs a path"),
+            },
+            "--profile-json" => match args.next() {
+                Some(path) => profile_json = Some(PathBuf::from(path)),
+                None => return usage("--profile-json needs a path"),
+            },
+            "--profile-trace" => match args.next() {
+                Some(path) => profile_trace = Some(PathBuf::from(path)),
+                None => return usage("--profile-trace needs a path"),
             },
             "--help" | "-h" => return usage(""),
             other if other.starts_with('-') => {
@@ -291,6 +314,16 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            "profile" => {
+                if let Err(code) = profile_target(
+                    &cfg,
+                    profile_json.as_deref(),
+                    profile_trace.as_deref(),
+                    &mut collected,
+                ) {
+                    return code;
+                }
+            }
             other => return usage(&format!("unknown target {other}")),
         }
         runlog::emit(
@@ -329,10 +362,11 @@ fn write_telemetry(
             .iter()
             .flat_map(|r| r.metrics_lines.iter().cloned())
             .collect();
-        let report = hev_trace::sink::write_jsonl(path, &lines).map_err(|e| {
-            eprintln!("error: cannot write {}: {e}", path.display());
-            ExitCode::FAILURE
-        })?;
+        let report: hev_trace::sink::SinkReport = hev_trace::sink::write_jsonl(path, &lines)
+            .map_err(|e| {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                ExitCode::FAILURE
+            })?;
         println!("(wrote {}: {} metrics lines)", path.display(), report.lines);
     }
     if let Some(path) = trace_path {
@@ -519,6 +553,77 @@ fn serve_bench_target(
     Ok(())
 }
 
+/// Runs the profiled three-phase workload (`hev_bench::profile`):
+/// prints the per-phase attribution table, optionally writes the
+/// deterministic span-tree JSON and the Chrome trace_event file, and
+/// fails when the tree's virtual-time total does not reconcile exactly
+/// with the independent eval counters.
+fn profile_target(
+    cfg: &ExperimentConfig,
+    profile_json: Option<&std::path::Path>,
+    profile_trace: Option<&std::path::Path>,
+    collected: &mut Vec<RunTelemetry>,
+) -> Result<(), ExitCode> {
+    println!(
+        "\n== Profile: {} training run(s) x {} episodes, DP sweep, serve fleet ==",
+        cfg.runs, cfg.episodes
+    );
+    println!(
+        "cycle: {} samples @ {} s | fleet: {} session(s), {} request(s), chaos on",
+        profile::profile_cycle().len(),
+        profile::profile_cycle().dt(),
+        profile::PROFILE_FLEET.sessions,
+        profile::PROFILE_FLEET.requests,
+    );
+    let result = profile::run_profile(cfg);
+    rule(100);
+    print!("{}", result.tree.format_attribution_table());
+    rule(100);
+    println!(
+        "virtual total: {} evals (span tree) vs {} evals (counters) — {}",
+        result.tree.total_evals(),
+        result.counter_evals,
+        if result.reconciles() {
+            "reconciled exactly"
+        } else {
+            "MISMATCH"
+        },
+    );
+    if let Some(path) = profile_json {
+        std::fs::write(path, result.tree.to_json() + "\n").map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {})", path.display());
+    }
+    if let Some(path) = profile_trace {
+        std::fs::write(path, result.tree.to_chrome_trace("repro profile") + "\n").map_err(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+        println!("(wrote {})", path.display());
+    }
+    // Route the causal request traces and the per-phase histograms
+    // through the shared telemetry writer (--trace/--metrics-prom).
+    let mut registry = hev_trace::MetricsRegistry::new();
+    result.tree.populate_registry(&mut registry, "profile.");
+    collected.push(RunTelemetry {
+        label: "profile".to_string(),
+        metrics_lines: Vec::new(),
+        trace_lines: result.request_traces.clone(),
+        prometheus: registry.to_prometheus("hev_"),
+    });
+    if !result.reconciles() {
+        eprintln!(
+            "error: profile: span tree total ({}) does not reconcile with the eval counters ({})",
+            result.tree.total_evals(),
+            result.counter_evals
+        );
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
+}
+
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -530,10 +635,11 @@ fn usage(err: &str) -> ExitCode {
          [--bench-json PATH] [--bench-baseline PATH] [--bench-guard PCT] \
          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume] \
          [--scalar-reference] \
-         [--chaos] [--serve-shards N] [--serve-out PATH] [--serve-report PATH] <target>...\n\
+         [--chaos] [--serve-shards N] [--serve-out PATH] [--serve-report PATH] \
+         [--profile-json PATH] [--profile-trace PATH] <target>...\n\
          targets: table1 fig2 table2 fig3 dp-bound learning-curve ablation-action-space \
          ablation-alpha ablation-lambda ablation-weight ablation-predictor robustness \
-         serve-bench all\n\
+         serve-bench profile all\n\
          --jobs 0 (default) uses all cores; output is bit-identical at every --jobs value.\n\
          --wave N trains N runs of a grid cell in lockstep on one worker, sharing each\n\
          timestep's precomputed context; output is bit-identical at every width.\n\
@@ -553,7 +659,11 @@ fn usage(err: &str) -> ExitCode {
          serve-bench runs the hev-serve fleet service: --serve-shards picks the worker\n\
          count, --chaos injects crashes/malformed requests/burst overload, --serve-out\n\
          writes the shard-invariant response stream (JSONL), --serve-report the JSON\n\
-         report with wall-clock throughput; --csv adds serve_degradation.csv."
+         report with wall-clock throughput; --csv adds serve_degradation.csv.\n\
+         profile runs training + DP + serve under the deterministic span profiler and\n\
+         prints the per-phase attribution table; --profile-json writes the span tree\n\
+         (byte-identical at every --jobs), --profile-trace a Perfetto-loadable Chrome\n\
+         trace; the run fails unless the tree reconciles exactly with the eval counters."
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -748,18 +858,20 @@ fn dp_bound(cfg: &ExperimentConfig) {
     println!("\n== Offline DP reference bound (full cycle knowledge) ==");
     rule(64);
     println!(
-        "{:<8} {:>12} {:>12} {:>14}",
-        "cycle", "DP reward", "DP mpg", "rule-based mpg"
+        "{:<8} {:>12} {:>12} {:>10} {:>14}",
+        "cycle", "DP reward", "DP mpg", "ECMS mpg", "rule-based mpg"
     );
     for sc in drive_cycle::StandardCycle::paper_set() {
         let cycle = sc.cycle();
         let dp = experiments::run_dp(&cycle, cfg);
+        let ecms = experiments::run_ecms(&cycle, cfg);
         let rb = experiments::run_rule_based(&cycle, cfg);
         println!(
-            "{:<8} {:>12.2} {:>12.1} {:>14.1}",
+            "{:<8} {:>12.2} {:>12.1} {:>10.1} {:>14.1}",
             sc.name(),
             dp.total_reward,
             experiments::corrected_mpg(&dp),
+            experiments::corrected_mpg(&ecms),
             experiments::corrected_mpg(&rb),
         );
     }
@@ -776,7 +888,9 @@ fn learning_curve(cfg: &ExperimentConfig) {
         "{:<10} {:>18} {:>18}",
         "episode", "reduced fuel (g)", "full fuel (g)"
     );
-    for p in experiments::learning_curve(cfg, cfg.episodes / 20) {
+    let points: Vec<experiments::LearningCurvePoint> =
+        experiments::learning_curve(cfg, cfg.episodes / 20);
+    for p in points {
         println!(
             "{:<10} {:>18.1} {:>18.1}",
             p.episode, p.reduced_fuel_g, p.full_fuel_g

@@ -6,9 +6,9 @@
 use drive_cycle::StandardCycle;
 use hev_control::{
     simulate, train_portfolio_wave, CyclePlan, DpConfig, EcmsController, EpisodeMetrics,
-    EpisodeTelemetry, Harness, JointController, JointControllerConfig, MetricsSummary,
-    RewardConfig, RuleBasedController, RunEvent, RunSpec, RunTelemetry, SeedSequence,
-    TelemetryConfig, WaveTrainLane,
+    EpisodeTelemetry, Harness, JointController, JointControllerConfig, RewardConfig,
+    RuleBasedController, RunEvent, RunSpec, RunTelemetry, SeedSequence, TelemetryConfig,
+    WaveTrainLane,
 };
 use hev_model::{HevParams, ParallelHev, FUEL_LHV_J_PER_G};
 use serde::{Deserialize, Serialize};
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// Fuel→battery path efficiency assumed by the state-of-charge MPG
 /// correction (engine ≈ 0.33 at a good operating point × electric path
 /// ≈ 0.85; consistent with the reward's equivalence factor 3.6).
-pub const FUEL_TO_BATTERY_EFF: f64 = 0.28;
+pub(crate) const FUEL_TO_BATTERY_EFF: f64 = 0.28;
 
 /// Shared experiment configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -486,7 +486,7 @@ pub fn jitter_portfolio(
 /// nominal cycle). The plans depend only on the vehicle's static
 /// parameters, never on its battery state, so one set serves a whole
 /// training run — and, cloned, every lane of a wave.
-pub fn plan_portfolio(
+pub(crate) fn plan_portfolio(
     hev: &ParallelHev,
     cycle: &drive_cycle::DriveCycle,
     seed: u64,
@@ -556,16 +556,6 @@ pub fn train_eval_runs(
         })
 }
 
-/// [`train_eval_runs`] reduced to a [`MetricsSummary`] — the multi-run
-/// aggregation step.
-pub fn train_eval_summary(
-    controller_cfg: &JointControllerConfig,
-    cycle: &drive_cycle::DriveCycle,
-    cfg: &ExperimentConfig,
-) -> MetricsSummary {
-    MetricsSummary::from_runs(&train_eval_runs(controller_cfg, cycle, cfg))
-}
-
 /// Trains every `(cycle × controller variant × run)` combination as one
 /// flat parallel batch and returns metrics indexed
 /// `[cycle][variant][run]`.
@@ -607,7 +597,7 @@ pub fn train_eval_grid(
 /// byte-identical files regardless of worker count. A disabled
 /// `telemetry` config short-circuits to the exact [`train_eval_grid`]
 /// code path and returns no telemetry.
-pub fn train_eval_grid_telemetry(
+pub(crate) fn train_eval_grid_telemetry(
     group: &str,
     cycles: &[drive_cycle::DriveCycle],
     variants: &[(&str, JointControllerConfig)],
@@ -802,7 +792,7 @@ fn nest_grid<T>(flat: Vec<T>, n_cycles: usize, n_variants: usize, runs: usize) -
 }
 
 /// Mean of a per-episode scalar across runs.
-pub fn mean_of<F: Fn(&EpisodeMetrics) -> f64>(runs: &[EpisodeMetrics], f: F) -> f64 {
+pub(crate) fn mean_of<F: Fn(&EpisodeMetrics) -> f64>(runs: &[EpisodeMetrics], f: F) -> f64 {
     runs.iter().map(f).sum::<f64>() / runs.len() as f64
 }
 
@@ -898,6 +888,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multi_run_summary_aggregates_every_training_run() {
+        let cfg = ExperimentConfig {
+            episodes: 4,
+            runs: 3,
+            jitter_variants: 1,
+            ..ExperimentConfig::default()
+        };
+        let cycle = tiny_cycle();
+        let runs = train_eval_runs(&JointControllerConfig::proposed(), &cycle, &cfg);
+        let summary = hev_control::MetricsSummary::from_runs(&runs);
+        assert_eq!(summary.runs, runs.len());
+        assert!(summary.fuel_g.mean.is_finite());
     }
 
     #[test]

@@ -11,9 +11,11 @@
 pub mod ablations;
 pub mod experiments;
 pub mod perf;
+pub mod profile;
 pub mod robustness;
 
 pub use ablations::AblationRow;
 pub use experiments::{ExperimentConfig, Fig2Row, Fig3Row, Table1Row, Table2Row};
 pub use perf::{StepThroughputReport, ThroughputSample, Workload};
+pub use profile::{run_profile, ProfileResult};
 pub use robustness::RobustnessRow;

@@ -37,7 +37,7 @@ use std::time::Instant;
 ///   lockstep wave width ([`Workload::wave_width`], defaulting to one).
 ///   v1/v2 reports keep parsing; their zero/one defaults describe the
 ///   per-episode, rebuild-per-step workloads those versions measured.
-pub const SCHEMA_VERSION: u32 = 3;
+pub(crate) const SCHEMA_VERSION: u32 = 3;
 
 /// What was run to produce a [`ThroughputSample`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -106,5 +106,5 @@ fn report_json_is_versioned_and_deterministic() {
     // fields live only in `report_json`/`to_json_with_throughput`.
     let b = run_serve_bench(&fleet(true), &at_shards(4)).unwrap();
     assert_eq!(a.report.to_json(), b.report.to_json());
-    assert!(a.report.to_json().starts_with("{\"version\":1,"));
+    assert!(a.report.to_json().starts_with("{\"version\":2,"));
 }

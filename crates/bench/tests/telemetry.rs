@@ -206,6 +206,9 @@ fn forced_degradation_dumps_flight_recorder_with_decision_context() {
     assert!(dump.contains("\"reward\":"), "dump carries the reward");
     assert!(dump.contains("\"fuel_g\":"), "dump carries the fuel term");
     assert!(dump.contains("\"aux_term\":"), "dump carries the aux term");
+    // Profiling is off, so the dump stays byte-compatible with the
+    // pre-profiler artifact: no span_path field.
+    assert!(!dump.contains("span_path"));
     // Exactly one dump per episode even though every step degraded.
     let dumps = run
         .trace_lines
@@ -213,4 +216,46 @@ fn forced_degradation_dumps_flight_recorder_with_decision_context() {
         .filter(|l| l.contains("\"event\":\"flight_dump\""))
         .count();
     assert_eq!(dumps, 1);
+}
+
+/// Leg 3b: the same forced degradation under the span profiler — the
+/// flight dump carries the phase that was active when the degradation
+/// was noted (`control.step`: health is checked while the step span is
+/// still open, after the supervisor span closed).
+#[test]
+fn forced_degradation_dump_carries_the_active_span_path_while_profiling() {
+    let cycle = StandardCycle::Oscar.cycle();
+    let mut cfg = JointControllerConfig::proposed();
+    cfg.seed = 42;
+    let mut agent = JointController::new(cfg);
+    agent.set_training(false);
+    let mut supervised = SupervisedPolicy::new(Corrupt { inner: agent });
+    let mut hev = experiments::fresh_hev(0.6);
+    let telemetry = TelemetryConfig {
+        metrics: false,
+        trace_sample: 0,
+        flight_capacity: 16,
+    };
+    let mut collector = EpisodeTelemetry::new("forced", telemetry);
+    hev_trace::span::begin_task();
+    simulate_instrumented(
+        &mut hev,
+        &cycle,
+        &mut supervised,
+        &RewardConfig::default(),
+        None,
+        Some(&mut collector),
+    );
+    let tree = hev_trace::span::take_tree();
+    assert!(tree.root.children.contains_key("control.step"));
+    let run = collector.into_run();
+    let dump = run
+        .trace_lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"flight_dump\""))
+        .expect("degradation produced a flight dump");
+    assert!(
+        dump.contains("\"span_path\":\"control.step\""),
+        "dump {dump}"
+    );
 }

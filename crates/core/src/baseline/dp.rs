@@ -113,6 +113,7 @@ fn solve_impl(
     config: &DpConfig,
     use_table: bool,
 ) -> DpSolution {
+    let _span = hev_trace::span::enter("dp.sweep");
     assert!(config.soc_points >= 2, "need at least two soc grid points");
     assert!(!config.currents.is_empty(), "need candidate currents");
     let n = config.soc_points;

@@ -750,6 +750,7 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         // (bit-identically — same evaluations, fused across lanes);
         // everything after this point is per-lane work either way.
         if !std::mem::take(&mut self.scratch.prefilled) {
+            let _span = hev_trace::span::enter("control.mask");
             self.scratch.reset(self.config.action.len());
             self.fill_action_mask(hev, obs);
         }
@@ -763,6 +764,7 @@ impl<P: Predictor> HevPolicy for JointController<P> {
         // its feasible set are known (Algorithm 1, lines 5–10).
         if self.training {
             if let Some((s, a, r)) = self.pending.take() {
+                let _span = hev_trace::span::enter("control.td_update");
                 let delta = self
                     .learner
                     .update(s, a, r, state, Some(&self.scratch.mask));

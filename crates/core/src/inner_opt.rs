@@ -103,6 +103,7 @@ impl InnerOptimizer {
         dt: f64,
         reward: &RewardConfig,
     ) -> Option<ResolvedAction> {
+        let _span = hev_trace::span::enter("control.resolve");
         let cur = hev.current_context(battery_current_a, dt);
         if !ctx.is_stopped() && !cur.is_feasible() {
             // The commanded current violates the pack limits: every
@@ -274,6 +275,7 @@ impl InnerOptimizer {
         // Ternary-search refinement in the bracket around the best grid
         // point (the reward is uni-modal in p_aux in practice: fuel rises
         // monotonically with p_aux while the utility is quasi-concave).
+        let _span = hev_trace::span::enter("control.refine");
         let step = (hi - lo) / (n - 1) as f64;
         let mut a = (lo + step * (k_best as f64 - 1.0)).max(lo);
         let mut b = (lo + step * (k_best as f64 + 1.0)).min(hi);
@@ -456,6 +458,7 @@ impl InnerOptimizer {
         if self.scalar_reference {
             return self.resolve_with(hev, ctx, battery_current_a, dt, reward);
         }
+        let _span = hev_trace::span::enter("control.resolve");
         // One resolve commands one current, but evaluates it across many
         // waves (the aux grid plus every ternary iteration). The scratch
         // cache makes the whole resolve build its battery context once —
@@ -541,6 +544,7 @@ impl InnerOptimizer {
             // per-gear search state is independent across gears — so
             // the probes, their count, and the resulting bits are
             // exactly the lockstep ones; only the bookkeeping is gone.
+            let _refine = hev_trace::span::enter("control.refine");
             let cur = *scratch.ctx_cache.get_or_insert(hev, battery_current_a, dt);
             for c in scratch.gears.iter_mut() {
                 if !c.refining {

@@ -333,6 +333,7 @@ pub(crate) fn decided_step(
     env: &StepEnv<'_>,
     io: &mut StepIo<'_>,
 ) {
+    let _span = hev_trace::span::enter("control.step");
     let mut control = controller.decide(hev, obs);
     if let Some(plan) = io.faults {
         let extra_w = plan.aux_disturbance_at(obs.time_s);

@@ -198,6 +198,7 @@ impl<P: HevPolicy> HevPolicy for SupervisedPolicy<P> {
         if self.policy.take_control_error().is_some() {
             self.report.control_errors += 1;
         }
+        let _span = hev_trace::span::enter("control.supervise");
         match validate(hev, obs.ctx, &proposed, dt) {
             Ok(()) => return proposed,
             Err(Rejection::NonFinite) => self.report.non_finite += 1,

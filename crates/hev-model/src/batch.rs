@@ -535,6 +535,7 @@ impl ParallelHev {
         if n == 0 {
             return;
         }
+        let _span = hev_trace::span::enter("model.batch_fill");
         crate::instrument::record_batch(n as u64);
         let mut cur = self.current_context(batch.currents[0], batch.dt);
         for lane in 0..n {
@@ -581,6 +582,7 @@ impl ParallelHev {
         if n == 0 {
             return;
         }
+        let _span = hev_trace::span::enter("model.batch_fill");
         crate::instrument::record_batch(n as u64);
         for lane in 0..n {
             let battery_current_a = batch.currents[lane];
@@ -631,6 +633,7 @@ impl ParallelHev {
         if n == 0 {
             return;
         }
+        let _span = hev_trace::span::enter("model.scored_sweep");
         crate::instrument::record_batch(n as u64);
         self.evaluate_scored_range(ctx, batch, 0..n, cache, score);
     }
@@ -698,6 +701,7 @@ impl ParallelHev {
         control: &ControlInput,
         dt: f64,
     ) -> Result<StepOutcome, InfeasibleControl> {
+        let _span = hev_trace::span::enter("model.winner_replay");
         let cur = cache.get_or_insert(self, control.battery_current_a, dt);
         self.complete_control(ctx, cur, control)
     }

@@ -497,6 +497,7 @@ impl ParallelHev {
     /// [`ContextTable`](crate::plan::ContextTable) amortizes to one per
     /// (cycle, vehicle-config) pair.
     pub fn rebuild_context(&self, ctx: &mut StepContext, demand: &WheelDemand) {
+        let _span = hev_trace::span::enter("model.ctx_build");
         crate::instrument::record_ctx_rebuild();
         self.rebuild_context_untracked(ctx, demand);
     }

@@ -33,6 +33,12 @@ pub struct ServeBenchResult {
     pub health_json: String,
     /// Flight-recorder dumps emitted by quarantines.
     pub flight_dumps: Vec<String>,
+    /// Merged span tree of the serve call (empty unless
+    /// [`ServeConfig::profile`] was set).
+    pub span_tree: hev_trace::SpanTree,
+    /// Causal request-trace JSONL lines, one per request (empty unless
+    /// [`ServeConfig::profile`] was set).
+    pub request_traces: Vec<String>,
     /// The deterministic report (for assertions and further encoding).
     pub report: ServeReport,
 }
@@ -62,6 +68,8 @@ pub fn run_serve_bench(
         prometheus: registry.to_prometheus("hev_"),
         health_json: health.to_json(),
         flight_dumps: output.flight_dumps,
+        span_tree: output.span_tree,
+        request_traces: output.request_traces,
         report,
     })
 }
@@ -84,6 +92,22 @@ mod tests {
         assert!(result.prometheus.contains("hev_serve_requests"));
         assert!(result.health_json.contains("\"state\":"));
         assert_eq!(result.degradation_rows.len(), 3);
+    }
+
+    #[test]
+    fn report_json_reads_back_to_the_deterministic_report() {
+        let fleet = FleetConfig {
+            sessions: 2,
+            requests: 24,
+            seed: 5,
+            chaos: false,
+        };
+        let result = run_serve_bench(&fleet, &ServeConfig::default()).unwrap();
+        // The throughput wrapper only appends wall-clock fields, which
+        // the reader ignores, so the read-back equals the deterministic
+        // report exactly.
+        let read = ServeReport::from_json(&result.report_json).expect("report line parses");
+        assert_eq!(read, result.report);
     }
 
     #[test]

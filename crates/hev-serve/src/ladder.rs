@@ -83,6 +83,9 @@ pub struct LadderOutcome {
     /// Every tier attempted, in walk order (strictly descending — the
     /// ladder never escalates back up within one request).
     pub trail: Vec<Rung>,
+    /// Evaluations each attempted tier spent, parallel to `trail` — the
+    /// per-rung cost attribution a causal request trace reports.
+    pub trail_evals: Vec<u64>,
     /// Peek-equivalent evaluations the walk spent.
     pub evals: u64,
 }
@@ -142,39 +145,48 @@ pub fn decide(
     let dt = config.reward.dt_s;
     let start = evals::count();
     let mut trail = Vec::with_capacity(4);
+    let mut trail_evals = Vec::with_capacity(4);
 
     if config.full_cost <= budget {
+        let _span = hev_trace::span::enter("serve.ladder.full");
         trail.push(Rung::Full);
-        if let Some(control) = best_over_currents(hev, ctx, &config.currents, config, scratch, dt) {
-            if validate(hev, ctx, &control, dt) {
-                return Some(LadderOutcome {
-                    control,
-                    rung: Rung::Full,
-                    trail,
-                    evals: evals::since(start),
-                });
-            }
+        let tier = evals::count();
+        let candidate = best_over_currents(hev, ctx, &config.currents, config, scratch, dt)
+            .filter(|control| validate(hev, ctx, control, dt));
+        trail_evals.push(evals::since(tier));
+        if let Some(control) = candidate {
+            return Some(LadderOutcome {
+                control,
+                rung: Rung::Full,
+                trail,
+                trail_evals,
+                evals: evals::since(start),
+            });
         }
     }
 
     if evals::since(start) + config.myopic_cost <= budget {
+        let _span = hev_trace::span::enter("serve.ladder.myopic");
         trail.push(Rung::Myopic);
-        if let Some(control) =
-            best_over_currents(hev, ctx, &config.myopic_currents, config, scratch, dt)
-        {
-            if validate(hev, ctx, &control, dt) {
-                return Some(LadderOutcome {
-                    control,
-                    rung: Rung::Myopic,
-                    trail,
-                    evals: evals::since(start),
-                });
-            }
+        let tier = evals::count();
+        let candidate = best_over_currents(hev, ctx, &config.myopic_currents, config, scratch, dt)
+            .filter(|control| validate(hev, ctx, control, dt));
+        trail_evals.push(evals::since(tier));
+        if let Some(control) = candidate {
+            return Some(LadderOutcome {
+                control,
+                rung: Rung::Myopic,
+                trail,
+                trail_evals,
+                evals: evals::since(start),
+            });
         }
     }
 
     if evals::since(start) + config.rule_cost <= budget {
+        let _span = hev_trace::span::enter("serve.ladder.rule");
         trail.push(Rung::Rule);
+        let tier = evals::count();
         let obs = Observation {
             step,
             time_s,
@@ -183,11 +195,14 @@ pub fn decide(
             ctx,
         };
         let control = rule.decide(hev, &obs);
-        if validate(hev, ctx, &control, dt) {
+        let ok = validate(hev, ctx, &control, dt);
+        trail_evals.push(evals::since(tier));
+        if ok {
             return Some(LadderOutcome {
                 control,
                 rung: Rung::Rule,
                 trail,
+                trail_evals,
                 evals: evals::since(start),
             });
         }
@@ -195,13 +210,18 @@ pub fn decide(
 
     // Limp-home is attempted regardless of remaining budget: a response
     // must always be produced, and this tier is the cheapest.
+    let _span = hev_trace::span::enter("serve.ladder.limp_home");
     trail.push(Rung::LimpHome);
+    let tier = evals::count();
     let control = fallback_control(hev, demand, dt);
-    if validate(hev, ctx, &control, dt) {
+    let ok = validate(hev, ctx, &control, dt);
+    trail_evals.push(evals::since(tier));
+    if ok {
         return Some(LadderOutcome {
             control,
             rung: Rung::LimpHome,
             trail,
+            trail_evals,
             evals: evals::since(start),
         });
     }
@@ -259,12 +279,16 @@ mod tests {
         assert_eq!(myopic.rung, Rung::Myopic);
         assert_eq!(rule.rung, Rung::Rule);
         assert_eq!(limp.rung, Rung::LimpHome);
-        // A trail never escalates back up.
+        // A trail never escalates back up, and every attempted tier
+        // carries its own eval cost (summing to no more than the walk's
+        // total — validation probes outside a tier are walk overhead).
         for out in [full, myopic, rule, limp] {
             for pair in out.trail.windows(2) {
                 assert!(pair[0].index() < pair[1].index());
             }
             assert_eq!(*out.trail.last().unwrap(), out.rung);
+            assert_eq!(out.trail_evals.len(), out.trail.len());
+            assert!(out.trail_evals.iter().sum::<u64>() <= out.evals);
         }
     }
 

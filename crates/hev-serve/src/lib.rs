@@ -67,7 +67,7 @@ pub mod wire;
 pub use driver::{run_serve_bench, ServeBenchResult};
 pub use fleet::FleetConfig;
 pub use ladder::{LadderConfig, LadderOutcome};
-pub use report::{ServeReport, SERVE_REPORT_VERSION};
+pub use report::{ServeReport, SERVE_REPORT_VERSION, SHED_DEPTH_BOUNDS};
 pub use service::{serve, ServeConfig, ServeOutput, SessionStats};
 pub use session::{Session, SessionSpec};
 pub use wire::{Request, RequestError, Response, Rung, Verdict, WIRE_VERSION};

@@ -8,10 +8,17 @@
 //! shard counts.
 
 use crate::service::ServeOutput;
-use hev_trace::json::Obj;
+use crate::wire::Verdict;
+use hev_trace::json::{self, Obj};
 
-/// Version of the serve-bench report schema.
-pub const SERVE_REPORT_VERSION: u32 = 1;
+/// Version of the serve-bench report schema. v2 added the tail
+/// percentiles (`eval_p90`, `eval_p999`) and the shed-depth histogram;
+/// [`ServeReport::from_json`] reads v1 lines back with those defaulted.
+pub const SERVE_REPORT_VERSION: u32 = 2;
+
+/// Shed-depth histogram bounds (queue depth at shed time); the counts
+/// array carries one extra overflow bucket.
+pub const SHED_DEPTH_BOUNDS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
 
 /// The deterministic serve-bench summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +43,15 @@ pub struct ServeReport {
     pub shed_rate: f64,
     /// Median evals per served request (nearest-rank).
     pub eval_p50: u64,
+    /// 90th-percentile evals per served request (nearest-rank).
+    pub eval_p90: u64,
     /// 99th-percentile evals per served request (nearest-rank).
     pub eval_p99: u64,
+    /// 99.9th-percentile evals per served request (nearest-rank).
+    pub eval_p999: u64,
+    /// Shed-count histogram over [`SHED_DEPTH_BOUNDS`] (queue depth at
+    /// shed time), last bucket = overflow. All zero when nothing shed.
+    pub shed_depth_counts: [u64; 5],
 }
 
 /// Nearest-rank percentile of a sorted slice (0 for an empty one).
@@ -47,6 +61,17 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
         return 0;
     }
     let rank = (pct * sorted.len()).div_ceil(100);
+    // hevlint::allow(panic::reachable-from-serve, rank is clamped to [1, len] and len > 0 was checked above)
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Nearest-rank permille (pct ‰) of a sorted slice — the p99.9 needs
+/// finer than integer-percent resolution, in the same exact math.
+fn permille(sorted: &[u64], pm: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pm * sorted.len()).div_ceil(1000);
     // hevlint::allow(panic::reachable-from-serve, rank is clamped to [1, len] and len > 0 was checked above)
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -71,6 +96,18 @@ impl ServeReport {
         let requests = output.responses.len() as u64;
         let mut evals = output.served_evals();
         evals.sort_unstable();
+        let mut shed_depth_counts = [0u64; 5];
+        for r in &output.responses {
+            if let Verdict::Shed { depth } = r.verdict {
+                let bucket = SHED_DEPTH_BOUNDS
+                    .iter()
+                    .position(|&b| depth as f64 <= b)
+                    .unwrap_or(SHED_DEPTH_BOUNDS.len());
+                if let Some(slot) = shed_depth_counts.get_mut(bucket) {
+                    *slot += 1;
+                }
+            }
+        }
         Self {
             sessions,
             requests,
@@ -86,8 +123,51 @@ impl ServeReport {
                 shed as f64 / requests as f64
             },
             eval_p50: percentile(&evals, 50),
+            eval_p90: percentile(&evals, 90),
             eval_p99: percentile(&evals, 99),
+            eval_p999: permille(&evals, 999),
+            shed_depth_counts,
         }
+    }
+
+    /// Reads a report line back (any schema version up to the current
+    /// one). Fields absent from older versions default: a v1 line reads
+    /// back with zeroed `eval_p90`/`eval_p999` and an all-zero
+    /// shed-depth histogram. Returns `None` on a malformed line or an
+    /// unknown (newer) version.
+    pub fn from_json(line: &str) -> Option<Self> {
+        let version = scan_u64(line, "version")?;
+        if version == 0 || version > u64::from(SERVE_REPORT_VERSION) {
+            return None;
+        }
+        let mut shed_depth_counts = [0u64; 5];
+        if let Some(counts) = scan_u64_array(line, "shed_depth") {
+            if counts.len() != shed_depth_counts.len() {
+                return None;
+            }
+            shed_depth_counts.copy_from_slice(&counts);
+        }
+        Some(Self {
+            sessions: scan_u64(line, "sessions")?,
+            requests: scan_u64(line, "requests")?,
+            served: scan_u64(line, "served")?,
+            shed: scan_u64(line, "shed")?,
+            errors: scan_u64(line, "errors")?,
+            rung_counts: [
+                scan_u64(line, "rung_full")?,
+                scan_u64(line, "rung_myopic")?,
+                scan_u64(line, "rung_rule")?,
+                scan_u64(line, "rung_limp_home")?,
+            ],
+            quarantines: scan_u64(line, "quarantines")?,
+            crashed_requests: scan_u64(line, "crashed_requests")?,
+            shed_rate: scan_f64(line, "shed_rate")?,
+            eval_p50: scan_u64(line, "eval_p50")?,
+            eval_p90: scan_u64(line, "eval_p90").unwrap_or(0),
+            eval_p99: scan_u64(line, "eval_p99")?,
+            eval_p999: scan_u64(line, "eval_p999").unwrap_or(0),
+            shed_depth_counts,
+        })
     }
 
     /// The deterministic report fields as one JSON object body (no
@@ -108,7 +188,10 @@ impl ServeReport {
             .u64("crashed_requests", self.crashed_requests)
             .f64("shed_rate", self.shed_rate)
             .u64("eval_p50", self.eval_p50)
+            .u64("eval_p90", self.eval_p90)
             .u64("eval_p99", self.eval_p99)
+            .u64("eval_p999", self.eval_p999)
+            .raw("shed_depth", &json::u64_array(&self.shed_depth_counts))
     }
 
     /// The deterministic report as one JSON line.
@@ -134,6 +217,36 @@ impl ServeReport {
             .f64("sessions_per_sec", sessions_per_sec)
             .finish()
     }
+}
+
+/// The raw text of a top-level `"key":` value in a report line (the
+/// report emitter nests nothing but the shed-depth array, so scanning
+/// to the next `,`/`}` is exact for scalar fields).
+fn scan_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line.get(start..)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest.get(..end)
+}
+
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    scan_raw(line, key)?.parse().ok()
+}
+
+fn scan_f64(line: &str, key: &str) -> Option<f64> {
+    scan_raw(line, key)?.parse().ok()
+}
+
+fn scan_u64_array(line: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line.get(start..)?;
+    let body = rest.get(..rest.find(']')?)?;
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|x| x.parse().ok()).collect()
 }
 
 /// Header of the per-session degradation CSV.
@@ -195,11 +308,60 @@ mod tests {
         assert_eq!(report.served + report.shed + report.errors, report.requests);
         assert_eq!(report.rung_counts.iter().sum::<u64>(), report.served);
         let json = report.to_json();
-        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.starts_with("{\"version\":2,"));
         assert!(json.contains("\"eval_p50\":"));
+        assert!(json.contains("\"eval_p90\":"));
+        assert!(json.contains("\"eval_p999\":"));
+        assert!(json.contains("\"shed_depth\":["));
         let with_wall = report.to_json_with_throughput(2.0);
         assert!(with_wall.contains("\"wall_s\":2.0"));
         assert!(with_wall.contains("\"requests_per_sec\":20.0"));
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let fleet = FleetConfig {
+            sessions: 2,
+            requests: 30,
+            seed: 7,
+            chaos: true,
+        };
+        let sessions = build_sessions(&fleet);
+        let requests = build_requests(&fleet, sessions.len() as u64);
+        let config = ServeConfig {
+            queue_capacity: 2,
+            tick_requests: 12,
+            ..ServeConfig::default()
+        };
+        let out = serve(&config, &sessions, &requests).unwrap();
+        let report = ServeReport::from_output(&out, sessions.len() as u64);
+        let back = ServeReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // Driver-appended wall-clock fields don't confuse the reader.
+        let back = ServeReport::from_json(&report.to_json_with_throughput(1.5)).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_report_lines_read_back_with_defaulted_v2_fields() {
+        // A verbatim v1 line (pre-p90/p999, no shed-depth histogram),
+        // pinned so the reader keeps accepting archived reports.
+        let v1 = "{\"version\":1,\"sessions\":4,\"requests\":64,\"served\":60,\"shed\":3,\
+                  \"errors\":1,\"rung_full\":50,\"rung_myopic\":6,\"rung_rule\":3,\
+                  \"rung_limp_home\":1,\"quarantines\":2,\"crashed_requests\":1,\
+                  \"shed_rate\":0.046875,\"eval_p50\":2400,\"eval_p99\":3900}";
+        let report = ServeReport::from_json(v1).unwrap();
+        assert_eq!(report.requests, 64);
+        assert_eq!(report.rung_counts, [50, 6, 3, 1]);
+        assert_eq!(report.eval_p50, 2400);
+        assert_eq!(report.eval_p99, 3900);
+        // v2 fields default.
+        assert_eq!(report.eval_p90, 0);
+        assert_eq!(report.eval_p999, 0);
+        assert_eq!(report.shed_depth_counts, [0; 5]);
+        // Unknown (newer) versions and malformed lines are rejected.
+        assert!(ServeReport::from_json(&v1.replace("\"version\":1", "\"version\":9")).is_none());
+        assert!(ServeReport::from_json("{\"version\":2}").is_none());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::wire::{Request, RequestError, Response, Rung, Verdict};
 use hev_control::harness::{run_indexed_caught, RunOutcome};
 use hev_model::ParamError;
 use hev_trace::json::Obj;
-use hev_trace::{FlightRecorder, MetricsRegistry};
+use hev_trace::{span, FlightRecorder, MetricsRegistry, SpanTree};
 use std::collections::BTreeMap;
 
 /// Service tuning.
@@ -47,6 +47,11 @@ pub struct ServeConfig {
     pub tick_requests: usize,
     /// The degradation-ladder configuration shared by every session.
     pub ladder: LadderConfig,
+    /// Span-profile the request lifecycle: collects a merged span tree
+    /// (admission, ladder rungs, quarantine) plus one causal trace line
+    /// per request. Off by default — serving is then span-free and the
+    /// response stream is byte-identical to an unprofiled build.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +66,7 @@ impl Default for ServeConfig {
             queue_capacity: 8,
             tick_requests: 16,
             ladder: LadderConfig::default(),
+            profile: false,
         }
     }
 }
@@ -118,6 +124,14 @@ pub struct ServeOutput {
     /// Flight-recorder dumps and quarantine events, in occurrence order
     /// (deterministic: quarantines are scattered sequentially).
     pub flight_dumps: Vec<String>,
+    /// Merged span tree of the whole serve call (empty unless
+    /// [`ServeConfig::profile`] is set). Per-task trees merge
+    /// commutatively, so the tree is byte-identical at any shard count.
+    pub span_tree: SpanTree,
+    /// One causal trace JSONL line per request, in stream order (empty
+    /// unless [`ServeConfig::profile`] is set). The trace id is the
+    /// request's stream slot — never a client-supplied field.
+    pub request_traces: Vec<String>,
 }
 
 impl ServeOutput {
@@ -177,7 +191,82 @@ impl ServeOutput {
         for evals in self.served_evals() {
             registry.histogram_observe("serve.request_evals", &BOUNDS, evals as f64);
         }
+        // Per-rung occupancy and shed depth, as histograms: where served
+        // requests landed on the ladder (and what each rung cost), and
+        // how deep the queue was when backpressure shed.
+        for r in &self.responses {
+            match &r.verdict {
+                Verdict::Served { rung, evals, .. } => {
+                    registry.histogram_observe(
+                        &format!("serve.rung_evals.{}", rung.name()),
+                        &BOUNDS,
+                        *evals as f64,
+                    );
+                }
+                Verdict::Shed { depth } => {
+                    registry.histogram_observe(
+                        "serve.shed_depth",
+                        &crate::report::SHED_DEPTH_BOUNDS,
+                        *depth as f64,
+                    );
+                }
+                Verdict::Error(_) => {}
+            }
+        }
+        // The span tree's per-phase eval histograms (empty unless the
+        // serve call was profiled).
+        if !self.span_tree.is_empty() {
+            self.span_tree.populate_registry(registry, "serve.span.");
+        }
     }
+}
+
+/// Encodes one causal request-trace JSONL line: admission (`queued` =
+/// queue depth at enqueue), the ladder walk (`trail`, empty for
+/// requests that never reached it), and the outcome. The trace id is
+/// the request's stream slot.
+fn trace_line(
+    slot: usize,
+    session: u64,
+    index: u64,
+    queued: usize,
+    verdict: &Verdict,
+    trail: &[(Rung, u64)],
+    quarantined: bool,
+) -> String {
+    let mut obj = Obj::new()
+        .u64("trace", slot as u64)
+        .u64("session", session)
+        .u64("request", index)
+        .u64("queued", queued as u64);
+    match verdict {
+        Verdict::Served { rung, evals, .. } => {
+            obj = obj
+                .str("outcome", "served")
+                .str("rung", rung.name())
+                .u64("evals", *evals);
+        }
+        Verdict::Shed { depth } => {
+            obj = obj.str("outcome", "shed").u64("depth", *depth as u64);
+        }
+        Verdict::Error(err) => {
+            obj = obj.str("outcome", "error").str("error", err.code());
+        }
+    }
+    if quarantined {
+        obj = obj.bool("quarantined", true);
+    }
+    let rungs: Vec<String> = trail
+        .iter()
+        .map(|(rung, evals)| {
+            Obj::new()
+                .str("rung", rung.name())
+                .u64("evals", *evals)
+                .finish()
+        })
+        .collect();
+    obj.raw_seq("trail", rungs.iter().map(String::as_str))
+        .finish()
 }
 
 /// Encodes a request for a flight-recorder dump.
@@ -236,46 +325,91 @@ pub fn serve(
     let mut unknown_session = 0u64;
     let mut quarantines = 0u64;
     let mut flight_dumps = Vec::new();
+    let profile = config.profile;
+    let mut span_tree = SpanTree::default();
+    // Partial span trees salvaged from crashed tasks (see the execution
+    // closure); a Mutex because workers may crash concurrently, merged
+    // once at the end — merge order is irrelevant (commutative).
+    let salvaged: std::sync::Mutex<SpanTree> = std::sync::Mutex::new(SpanTree::default());
+    let mut trace_slots: Vec<Option<String>> = if profile {
+        vec![None; requests.len()]
+    } else {
+        Vec::new()
+    };
     let tick = config.tick_requests.max(1);
 
     for (tick_index, chunk) in requests.chunks(tick).enumerate() {
         // Stage 1: sequential admission into bounded per-session queues.
         // Slots are addressed by stream position, never by the
-        // client-supplied index field.
+        // client-supplied index field. When profiling, admission is its
+        // own caller-thread span window (execution tasks open their own
+        // windows, inline at shards == 1, so the stages never share one).
+        if profile {
+            span::begin_task();
+        }
         let mut queues: BTreeMap<u64, Vec<(usize, Request)>> = BTreeMap::new();
-        for (offset, req) in chunk.iter().enumerate() {
-            let slot = tick_index * tick + offset;
-            if !table.contains_key(&req.session) {
-                unknown_session += 1;
-                place(
-                    &mut slots,
-                    slot,
-                    Response {
-                        index: req.index,
-                        session: req.session,
-                        verdict: Verdict::Error(RequestError::UnknownSession),
-                    },
-                );
-                continue;
-            }
-            let queue = queues.entry(req.session).or_default();
-            if queue.len() >= config.queue_capacity {
-                let verdict = Verdict::Shed { depth: queue.len() };
-                if let Some(s) = stats.get_mut(&req.session) {
-                    s.record(&verdict);
+        {
+            let _admission = span::enter("serve.admission");
+            for (offset, req) in chunk.iter().enumerate() {
+                let slot = tick_index * tick + offset;
+                if !table.contains_key(&req.session) {
+                    unknown_session += 1;
+                    let verdict = Verdict::Error(RequestError::UnknownSession);
+                    if let Some(t) = trace_slots.get_mut(slot) {
+                        *t = Some(trace_line(
+                            slot,
+                            req.session,
+                            req.index,
+                            0,
+                            &verdict,
+                            &[],
+                            false,
+                        ));
+                    }
+                    place(
+                        &mut slots,
+                        slot,
+                        Response {
+                            index: req.index,
+                            session: req.session,
+                            verdict,
+                        },
+                    );
+                    continue;
                 }
-                place(
-                    &mut slots,
-                    slot,
-                    Response {
-                        index: req.index,
-                        session: req.session,
-                        verdict,
-                    },
-                );
-            } else {
-                queue.push((slot, *req));
+                let queue = queues.entry(req.session).or_default();
+                if queue.len() >= config.queue_capacity {
+                    let verdict = Verdict::Shed { depth: queue.len() };
+                    if let Some(s) = stats.get_mut(&req.session) {
+                        s.record(&verdict);
+                    }
+                    if let Some(t) = trace_slots.get_mut(slot) {
+                        *t = Some(trace_line(
+                            slot,
+                            req.session,
+                            req.index,
+                            queue.len(),
+                            &verdict,
+                            &[],
+                            false,
+                        ));
+                    }
+                    place(
+                        &mut slots,
+                        slot,
+                        Response {
+                            index: req.index,
+                            session: req.session,
+                            verdict,
+                        },
+                    );
+                } else {
+                    queue.push((slot, *req));
+                }
             }
+        }
+        if profile {
+            span_tree.merge(&span::take_tree());
         }
 
         // Stage 2: one task per session queue, fanned over the shards.
@@ -291,21 +425,63 @@ pub fn serve(
         }
         let ladder = &config.ladder;
         let outcomes = run_indexed_caught(config.shards, batch, |_, (id, mut session, reqs)| {
-            let verdicts: Vec<(usize, u64, Verdict)> = reqs
-                .iter()
-                .map(|(slot, req)| (*slot, req.index, session.process(req, ladder)))
-                .collect();
-            (id, session, verdicts)
+            if profile {
+                span::begin_task();
+            }
+            // A crashing session burns real evals before its panic; the
+            // catch below salvages that partial span tree so the profile
+            // accounts for every eval the counters saw, then resumes the
+            // unwind for the executor's quarantine path. The partial
+            // work is a pure function of the session's request batch, so
+            // the salvaged tree is shard-invariant like everything else.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reqs.iter()
+                    .map(|(slot, req)| {
+                        let verdict = session.process(req, ladder);
+                        let trail = if profile {
+                            session.last_trail().to_vec()
+                        } else {
+                            Vec::new()
+                        };
+                        (*slot, req.index, verdict, trail)
+                    })
+                    .collect::<Vec<(usize, u64, Verdict, Vec<(Rung, u64)>)>>()
+            }));
+            let verdicts = match caught {
+                Ok(v) => v,
+                Err(payload) => {
+                    if profile {
+                        if let Ok(mut s) = salvaged.lock() {
+                            s.merge(&span::take_tree());
+                        }
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            let tree = if profile {
+                Some(span::take_tree())
+            } else {
+                None
+            };
+            (id, session, verdicts, tree)
         });
 
         // Stage 3: sequential scatter + quarantine of panicked tasks.
         for (outcome, (id, reqs)) in outcomes.into_iter().zip(retained) {
             match outcome {
-                RunOutcome::Ok((id_back, session, verdicts)) => {
+                RunOutcome::Ok((id_back, session, verdicts, tree)) => {
+                    if let Some(tree) = tree {
+                        span_tree.merge(&tree);
+                    }
                     table.insert(id_back, session);
-                    for (slot, index, verdict) in verdicts {
+                    for (pos, (slot, index, verdict, trail)) in verdicts.into_iter().enumerate() {
                         if let Some(s) = stats.get_mut(&id_back) {
                             s.record(&verdict);
+                        }
+                        if let Some(t) = trace_slots.get_mut(slot) {
+                            *t = Some(trace_line(
+                                slot, id_back, index, pos, &verdict, &trail, false,
+                            ));
                         }
                         place(
                             &mut slots,
@@ -319,6 +495,13 @@ pub fn serve(
                     }
                 }
                 RunOutcome::Panicked { message } => {
+                    // The quarantine replay runs inline on this thread,
+                    // so its ladder spans nest under `serve.quarantine`
+                    // in a window of their own.
+                    if profile {
+                        span::begin_task();
+                    }
+                    let quarantine_span = span::enter("serve.quarantine");
                     quarantines += 1;
                     let stat = stats.entry(id).or_default();
                     stat.quarantines += 1;
@@ -355,7 +538,8 @@ pub fn serve(
                         Some(spec) => Some(Session::new(spec, attempt)?),
                         None => None,
                     };
-                    for (slot, req) in &reqs {
+                    for (pos, (slot, req)) in reqs.iter().enumerate() {
+                        let mut trail: Vec<(Rung, u64)> = Vec::new();
                         let verdict = match session.take() {
                             Some(live) => {
                                 let mut replayed =
@@ -365,6 +549,9 @@ pub fn serve(
                                     });
                                 match replayed.pop() {
                                     Some(RunOutcome::Ok((s, v))) => {
+                                        if profile {
+                                            trail = s.last_trail().to_vec();
+                                        }
                                         session = Some(s);
                                         v
                                     }
@@ -385,6 +572,11 @@ pub fn serve(
                             None => Verdict::Error(RequestError::UnknownSession),
                         };
                         stat.record(&verdict);
+                        if let Some(t) = trace_slots.get_mut(*slot) {
+                            *t = Some(trace_line(
+                                *slot, id, req.index, pos, &verdict, &trail, true,
+                            ));
+                        }
                         place(
                             &mut slots,
                             *slot,
@@ -398,6 +590,10 @@ pub fn serve(
                     if let Some(live) = session {
                         table.insert(id, live);
                     }
+                    drop(quarantine_span);
+                    if profile {
+                        span_tree.merge(&span::take_tree());
+                    }
                 }
             }
         }
@@ -408,12 +604,18 @@ pub fn serve(
         // hevlint::allow(panic, every admitted request is placed exactly once by construction (unknown-session answer, shed, batch verdict, or quarantine replay); a hole would be a service bug, never a request-reachable state)
         .map(|slot| slot.expect("request left without a response"))
         .collect();
+    // Every request that got a response also got a trace line by the
+    // same placement sites; `flatten` keeps the path panic-free.
+    let request_traces: Vec<String> = trace_slots.into_iter().flatten().collect();
+    span_tree.merge(&salvaged.into_inner().unwrap_or_default());
     Ok(ServeOutput {
         responses,
         stats,
         unknown_session,
         quarantines,
         flight_dumps,
+        span_tree,
+        request_traces,
     })
 }
 
@@ -452,6 +654,7 @@ mod tests {
             queue_capacity: 2,
             tick_requests: 8,
             ladder: LadderConfig::default(),
+            profile: false,
         }
     }
 
@@ -556,6 +759,57 @@ mod tests {
             assert_eq!(out.response_stream(), reference.response_stream());
             assert_eq!(out.stats, reference.stats);
             assert_eq!(out.flight_dumps, reference.flight_dumps);
+        }
+    }
+
+    #[test]
+    fn profiling_is_shard_invariant_and_off_by_default() {
+        let mut requests: Vec<Request> = (0..24).map(|i| request(i, i % 4)).collect();
+        requests[5].crash = true;
+        let plain = serve(
+            &ServeConfig {
+                shards: 1,
+                ..config()
+            },
+            &specs(4),
+            &requests,
+        )
+        .unwrap();
+        assert!(plain.span_tree.is_empty());
+        assert!(plain.request_traces.is_empty());
+        let profiled = |shards| {
+            serve(
+                &ServeConfig {
+                    shards,
+                    profile: true,
+                    ..config()
+                },
+                &specs(4),
+                &requests,
+            )
+            .unwrap()
+        };
+        let reference = profiled(1);
+        // Profiling never changes what is served.
+        assert_eq!(reference.response_stream(), plain.response_stream());
+        // One causal trace per request; served traces carry the rung walk.
+        assert_eq!(reference.request_traces.len(), requests.len());
+        let served = reference
+            .request_traces
+            .iter()
+            .find(|l| l.contains("\"outcome\":\"served\""))
+            .unwrap();
+        assert!(served.contains("\"trail\":[{\"rung\":"), "{served}");
+        // The crashed request's replay verdict is traced as quarantined.
+        assert!(reference
+            .request_traces
+            .iter()
+            .any(|l| l.contains("\"quarantined\":true")));
+        assert!(!reference.span_tree.is_empty());
+        for shards in [2, 4] {
+            let out = profiled(shards);
+            assert_eq!(out.span_tree.to_json(), reference.span_tree.to_json());
+            assert_eq!(out.request_traces, reference.request_traces);
         }
     }
 

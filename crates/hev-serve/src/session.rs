@@ -12,7 +12,7 @@
 //! incarnation.
 
 use crate::ladder::{self, LadderConfig};
-use crate::wire::{self, Request, RequestError, Verdict};
+use crate::wire::{self, Request, RequestError, Rung, Verdict};
 use hev_control::sim::HevPolicy;
 use hev_control::{
     split_seed, FaultConfig, FaultPlan, ResolveScratch, RuleBasedController, RETRY_SEED_TAG,
@@ -50,6 +50,9 @@ pub struct Session {
     faults: FaultPlan,
     rule: RuleBasedController,
     scratch: ResolveScratch,
+    /// The rung-by-rung `(tier, evals)` walk of the most recent ladder
+    /// decision — the causal trace of the last processed request.
+    last_trail: Vec<(Rung, u64)>,
 }
 
 impl Session {
@@ -77,7 +80,15 @@ impl Session {
             faults,
             rule,
             scratch: ResolveScratch::new(),
+            last_trail: Vec::new(),
         })
+    }
+
+    /// The `(tier, evals spent)` walk of the last processed request, in
+    /// ladder order. Empty until a request reaches the ladder; error
+    /// verdicts that never reach it leave it empty too.
+    pub fn last_trail(&self) -> &[(Rung, u64)] {
+        &self.last_trail
     }
 
     /// The session's spec.
@@ -117,6 +128,7 @@ impl Session {
     /// demand even limp-home cannot step yields
     /// [`RequestError::Unsteppable`] with the plant untouched.
     pub fn process(&mut self, req: &Request, config: &LadderConfig) -> Verdict {
+        self.last_trail.clear();
         if let Err(err) = wire::validate_request(req) {
             return Verdict::Error(err);
         }
@@ -162,6 +174,14 @@ impl Session {
             time_s,
             obs_soc,
         );
+        if let Some(out) = &outcome {
+            self.last_trail.extend(
+                out.trail
+                    .iter()
+                    .copied()
+                    .zip(out.trail_evals.iter().copied()),
+            );
+        }
         match outcome {
             Some(out) => match self.hev.step_with_context(&ctx, &out.control, dt) {
                 Ok(step) => {

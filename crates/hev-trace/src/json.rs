@@ -29,7 +29,7 @@ pub fn write_str(out: &mut String, s: &str) {
 
 /// Appends a float to `out`: shortest round-trip form for finite values
 /// (forcing a `.0` on whole numbers), JSON strings for non-finite ones.
-pub fn write_f64(out: &mut String, x: f64) {
+pub(crate) fn write_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         let s = format!("{x:?}");
         out.push_str(&s);

@@ -18,8 +18,12 @@
 //!   (migrated here from `hev_model::instrument`);
 //! * [`health`] — a three-state service health verdict folded from
 //!   serving counters (requests, shed, errors, quarantines);
-//! * [`sink`] — file-writing sinks for the harness layer (the only
-//!   module allowed to touch the wall clock).
+//! * [`span`] — a hierarchical span profiler on the eval-count virtual
+//!   clock, with per-phase cost attribution, Chrome-trace export, and a
+//!   wall-clock lane installable only from the harness layer;
+//! * [`sink`] / [`wallclock`] — the harness-role modules (the only ones
+//!   allowed to touch the wall clock and filesystem): file-writing
+//!   sinks, and the span profiler's wall-clock hook.
 //!
 //! # Determinism contract
 //!
@@ -41,9 +45,12 @@ pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
+pub mod span;
 pub mod trace;
+pub mod wallclock;
 
 pub use health::{HealthState, HealthSummary};
 pub use recorder::FlightRecorder;
 pub use registry::{Histogram, MetricValue, MetricsRegistry};
+pub use span::{SpanGuard, SpanNode, SpanTree};
 pub use trace::{StepEvent, TraceSampler, TRACE_SCHEMA_VERSION};

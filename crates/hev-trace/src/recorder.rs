@@ -73,19 +73,28 @@ impl FlightRecorder {
     /// Encodes the ring as one `flight_dump` JSONL line: the trigger, the
     /// offending step, and every buffered event (oldest first). Returns
     /// `None` when the recorder is disabled or empty.
+    ///
+    /// When the span profiler is active on this thread and a span is
+    /// open, the dump also carries the active span path (`span_path`),
+    /// so a degradation event is attributable to the phase that
+    /// produced it from the dump alone. With profiling off the field is
+    /// absent and the line is byte-identical to the unprofiled run.
     pub fn dump(&self, run: &str, episode: u64, trigger: &str, step: u64) -> Option<String> {
         if self.buf.is_empty() {
             return None;
         }
+        let mut obj = json::Obj::new()
+            .u64("v", u64::from(TRACE_SCHEMA_VERSION))
+            .str("event", "flight_dump")
+            .str("run", run)
+            .u64("episode", episode)
+            .str("trigger", trigger)
+            .u64("step", step);
+        if let Some(path) = crate::span::current_path() {
+            obj = obj.str("span_path", &path);
+        }
         Some(
-            json::Obj::new()
-                .u64("v", u64::from(TRACE_SCHEMA_VERSION))
-                .str("event", "flight_dump")
-                .str("run", run)
-                .u64("episode", episode)
-                .str("trigger", trigger)
-                .u64("step", step)
-                .raw_seq("events", self.buf.iter().map(String::as_str))
+            obj.raw_seq("events", self.buf.iter().map(String::as_str))
                 .finish(),
         )
     }
@@ -156,6 +165,24 @@ mod tests {
         let lines = take_panic_ring();
         assert_eq!(lines, vec!["{\"step\":9}".to_string()]);
         assert!(take_panic_ring().is_empty());
+    }
+
+    #[test]
+    fn dump_carries_the_active_span_path_only_while_profiling() {
+        let mut r = FlightRecorder::new(2);
+        r.record("{\"step\":3}".into());
+        crate::span::begin_task();
+        let dumped = {
+            let _outer = crate::span::enter("control.step");
+            let _inner = crate::span::enter("control.supervise");
+            r.dump("run", 1, "supervisor_degradation", 3).unwrap()
+        };
+        let _ = crate::span::take_tree();
+        assert!(dumped.contains("\"span_path\":\"control.step/control.supervise\""));
+        // Profiling off: the field is absent, byte-identical to the
+        // unprofiled artifact.
+        let bare = r.dump("run", 1, "supervisor_degradation", 3).unwrap();
+        assert!(!bare.contains("span_path"));
     }
 
     #[test]

@@ -50,13 +50,26 @@ impl Histogram {
     /// Merges pre-aggregated bucket counts (e.g. accumulated inline by a
     /// hot loop) into this histogram. Slices longer than the histogram's
     /// own bucket count fold their tail into the overflow bucket.
-    pub fn merge_counts(&mut self, counts: &[u64], sum: f64, count: u64) {
+    pub(crate) fn merge_counts(&mut self, counts: &[u64], sum: f64, count: u64) {
         for (i, &c) in counts.iter().enumerate() {
             let idx = i.min(self.counts.len() - 1);
             self.counts[idx] += c;
         }
         self.sum += sum;
         self.count += count;
+    }
+
+    /// Merges another histogram into this one, bucket by bucket.
+    ///
+    /// Merging is commutative and associative (every field is a plain
+    /// sum), so cross-shard aggregation gives the same result in any
+    /// merge order — the property the serve layer relies on when it
+    /// folds per-shard histograms into one exposition. The other
+    /// histogram's buckets are matched by position; a tail beyond this
+    /// histogram's bucket count folds into the overflow bucket (the
+    /// [`Self::merge_counts`] contract).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.merge_counts(&other.counts, other.sum, other.count);
     }
 }
 
@@ -212,7 +225,14 @@ impl MetricsRegistry {
                     out.push_str(&format!("# TYPE {full} histogram\n"));
                     let mut cumulative = 0u64;
                     for (i, &bound) in h.bounds.iter().enumerate() {
-                        cumulative += h.counts[i];
+                        cumulative += h.counts.get(i).copied().unwrap_or(0);
+                        // A non-finite bound would collide with the
+                        // mandatory `+Inf` series below (duplicate or
+                        // contradictory `le` labels); its observations
+                        // stay in `cumulative` and surface there.
+                        if !bound.is_finite() {
+                            continue;
+                        }
                         out.push_str(&format!("{full}_bucket{{le=\""));
                         push_prom_f64(&mut out, bound);
                         out.push_str(&format!("\"}} {cumulative}\n"));

@@ -1,0 +1,139 @@
+//! Exact-golden pins of the Prometheus text exposition's histogram
+//! edges, plus the order-independence contract of [`Histogram::merge`].
+//!
+//! The exposition is a determinism-compared artifact (CI archives and
+//! diffs `--metrics-prom` output), so its edge cases — the mandatory
+//! `+Inf` bucket, explicit non-finite bounds, and never-observed
+//! histograms — are pinned byte-for-byte, not just shape-checked.
+
+use hev_trace::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+#[test]
+fn histogram_exposition_is_byte_exact_including_inf_bucket() {
+    let mut r = MetricsRegistry::new();
+    r.histogram_observe("lat", &[1.0, 10.0], 0.5);
+    r.histogram_observe("lat", &[1.0, 10.0], 5.0);
+    r.histogram_observe("lat", &[1.0, 10.0], 50.0);
+    assert_eq!(
+        r.to_prometheus("hev_"),
+        "# TYPE hev_lat histogram\n\
+         hev_lat_bucket{le=\"1.0\"} 1\n\
+         hev_lat_bucket{le=\"10.0\"} 2\n\
+         hev_lat_bucket{le=\"+Inf\"} 3\n\
+         hev_lat_sum 55.5\n\
+         hev_lat_count 3\n"
+    );
+}
+
+#[test]
+fn empty_histogram_exposes_zeroed_series() {
+    // A registered-but-never-observed histogram (merged with zero
+    // counts) must still expose every series, all zero — absent series
+    // break scrape-side rate() queries.
+    let mut r = MetricsRegistry::new();
+    r.histogram_merge("idle", &[1.0, 10.0], &[0, 0, 0], 0.0, 0);
+    assert_eq!(
+        r.to_prometheus("hev_"),
+        "# TYPE hev_idle histogram\n\
+         hev_idle_bucket{le=\"1.0\"} 0\n\
+         hev_idle_bucket{le=\"10.0\"} 0\n\
+         hev_idle_bucket{le=\"+Inf\"} 0\n\
+         hev_idle_sum 0.0\n\
+         hev_idle_count 0\n"
+    );
+}
+
+#[test]
+fn boundless_histogram_exposes_only_the_inf_bucket() {
+    let mut r = MetricsRegistry::new();
+    r.histogram_observe("any", &[], 7.0);
+    assert_eq!(
+        r.to_prometheus("hev_"),
+        "# TYPE hev_any histogram\n\
+         hev_any_bucket{le=\"+Inf\"} 1\n\
+         hev_any_sum 7.0\n\
+         hev_any_count 1\n"
+    );
+}
+
+#[test]
+fn explicit_infinite_bound_folds_into_the_inf_bucket() {
+    // An explicit +Inf (or NaN) bound used to emit a duplicate
+    // `le="+Inf"` series; it now folds into the mandatory one, keeping
+    // one cumulative series per label value.
+    let mut r = MetricsRegistry::new();
+    r.histogram_observe("dur", &[1.0, f64::INFINITY], 0.5);
+    r.histogram_observe("dur", &[1.0, f64::INFINITY], 99.0);
+    let text = r.to_prometheus("hev_");
+    assert_eq!(
+        text,
+        "# TYPE hev_dur histogram\n\
+         hev_dur_bucket{le=\"1.0\"} 1\n\
+         hev_dur_bucket{le=\"+Inf\"} 2\n\
+         hev_dur_sum 99.5\n\
+         hev_dur_count 2\n"
+    );
+    assert_eq!(text.matches("le=\"+Inf\"").count(), 1);
+}
+
+#[test]
+fn merge_matches_observing_everything_in_one_histogram() {
+    let bounds = [1.0, 10.0, 100.0];
+    let mut a = Histogram::new(&bounds);
+    let mut b = Histogram::new(&bounds);
+    let mut all = Histogram::new(&bounds);
+    for (i, x) in [0.5, 3.0, 42.0, 500.0, 7.0].iter().enumerate() {
+        if i % 2 == 0 {
+            a.observe(*x);
+        } else {
+            b.observe(*x);
+        }
+        all.observe(*x);
+    }
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, all);
+    assert_eq!(ba, all);
+}
+
+proptest! {
+    /// Cross-shard aggregation contract: splitting any observation
+    /// stream across shards and merging the shard histograms in any
+    /// order is byte-equivalent to one histogram observing everything.
+    #[test]
+    fn merge_is_order_independent(
+        values in prop::collection::vec(0.0f64..1000.0, 1..64),
+        shard_of in prop::collection::vec(0usize..3, 64),
+    ) {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut shards = [
+            Histogram::new(&bounds),
+            Histogram::new(&bounds),
+            Histogram::new(&bounds),
+        ];
+        let mut direct = Histogram::new(&bounds);
+        for (i, &x) in values.iter().enumerate() {
+            shards[shard_of[i % shard_of.len()] % shards.len()].observe(x);
+            direct.observe(x);
+        }
+        let mut forward = Histogram::new(&bounds);
+        for s in shards.iter() {
+            forward.merge(s);
+        }
+        let mut backward = Histogram::new(&bounds);
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        prop_assert_eq!(&forward.counts, &direct.counts);
+        prop_assert_eq!(forward.count, direct.count);
+        prop_assert_eq!(&backward.counts, &direct.counts);
+        prop_assert_eq!(backward.count, direct.count);
+        // Sums are float additions in different orders; exact equality
+        // is not promised, closeness is.
+        prop_assert!((forward.sum - direct.sum).abs() <= 1e-9 * direct.sum.abs().max(1.0));
+        prop_assert!((backward.sum - direct.sum).abs() <= 1e-9 * direct.sum.abs().max(1.0));
+    }
+}

@@ -103,7 +103,10 @@ impl Report {
 /// prints reports, measures wall-clock), `crates/core/src/harness`
 /// (timing + run-log layer), `crates/hevlint` itself (a CLI tool),
 /// `crates/hev-trace/src/sink.rs` (the telemetry file writer, the one
-/// hev-trace module allowed to touch the clock and filesystem), and
+/// hev-trace module allowed to touch the clock and filesystem),
+/// `crates/hev-trace/src/wallclock.rs` (the span profiler's optional
+/// wall-clock lane: the one module that installs a nanosecond hook —
+/// the span module itself reads no machine state), and
 /// `crates/hev-serve/src/driver.rs` (the serve-bench driver, the one
 /// hev-serve module that times wall-clock throughput) — is exempt from
 /// the wall-clock/env/print rules; everything else is library code.
@@ -113,6 +116,7 @@ pub fn role_for(rel_path: &str) -> Role {
         || p.starts_with("crates/hevlint/")
         || p.contains("/harness/")
         || p == "crates/hev-trace/src/sink.rs"
+        || p == "crates/hev-trace/src/wallclock.rs"
         || p == "crates/hev-serve/src/driver.rs"
     {
         Role::Harness
@@ -429,7 +433,9 @@ mod tests {
         assert_eq!(role_for("crates/core/src/harness/mod.rs"), Role::Harness);
         assert_eq!(role_for("crates/hevlint/src/main.rs"), Role::Harness);
         assert_eq!(role_for("crates/hev-trace/src/sink.rs"), Role::Harness);
+        assert_eq!(role_for("crates/hev-trace/src/wallclock.rs"), Role::Harness);
         assert_eq!(role_for("crates/hev-trace/src/registry.rs"), Role::Library);
+        assert_eq!(role_for("crates/hev-trace/src/span.rs"), Role::Library);
         assert_eq!(role_for("crates/hev-serve/src/driver.rs"), Role::Harness);
         assert_eq!(role_for("crates/hev-serve/src/service.rs"), Role::Library);
         assert_eq!(role_for("crates/core/src/sim.rs"), Role::Library);
